@@ -1,0 +1,31 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one experiment from DESIGN.md's index: it
+builds the paper artefact (graph / array / schedule), checks the *shape*
+claims (who wins, by what factor), prints the reproduction table, and
+saves it under ``benchmarks/out/<exp_id>.txt`` so EXPERIMENTS.md can refer
+to concrete artefacts.  The ``benchmark`` fixture times the dominant
+computation so ``pytest benchmarks/ --benchmark-only`` doubles as a
+performance regression harness for the library itself.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+OUT_DIR = Path(__file__).parent / "out"
+
+# Default problem sizes: large enough for the asymptotic claims to show,
+# small enough that the whole harness runs in a couple of minutes.
+N_DEFAULT = 12
+M_DEFAULT = 4
+
+
+def save_table(exp_id: str, title: str, body: str) -> str:
+    """Persist one experiment's table; echo it to stdout; return the text."""
+    OUT_DIR.mkdir(exist_ok=True)
+    text = f"== {exp_id}: {title} ==\n{body}\n"
+    (OUT_DIR / f"{exp_id}.txt").write_text(text)
+    print(f"\n{text}", file=sys.stderr)
+    return text

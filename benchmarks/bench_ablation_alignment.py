@@ -1,0 +1,29 @@
+"""A-ALN (ablation): skew-aligned vs packed linear G-set blocks.
+
+Packed blocks win throughput (exact Sec. 4.2 when m | n+1); aligned
+blocks win host bandwidth (the paper's m/n scheme); the utilization gap
+closes as m/n -> 0.  Builder:
+:func:`repro.experiments.ablations.alignment_ablation`.
+"""
+
+from repro.experiments.ablations import alignment_ablation
+from repro.viz import format_table
+
+from _common import save_table
+
+
+def test_ablation_block_alignment(benchmark):
+    rows = benchmark(alignment_ablation, [(11, 4), (15, 4), (19, 4)])
+    pairs = {}
+    for r in rows:
+        pairs.setdefault((r["n"], r["m"]), {})[r["blocks"]] = r
+    for (n, m), pair in pairs.items():
+        aligned, packed = pair["aligned"], pair["packed"]
+        assert packed["total_time"] == n * n * (n + 1) // m
+        assert packed["total_time"] <= aligned["total_time"]
+        assert aligned["req_hostBW"] < packed["req_hostBW"]
+    gaps = [
+        pairs[key]["aligned"]["U"] / pairs[key]["packed"]["U"] for key in sorted(pairs)
+    ]
+    assert gaps == sorted(gaps)  # ratio -> 1 with growing n
+    save_table("A-ALN", "aligned vs packed linear blocks", format_table(rows))

@@ -1,0 +1,24 @@
+"""A-GRP (ablation, Fig. 9): few complex G-nodes vs many simple ones.
+
+Coarser G-nodes cut cross-set memory traffic and scheduling freedom
+monotonically; the paper's diagonal-path (column) grouping is the
+total-time optimum.  Builder:
+:func:`repro.experiments.ablations.grouping_ablation`.
+"""
+
+from repro.experiments.ablations import grouping_ablation
+from repro.viz import format_table
+
+from _common import save_table
+
+
+def test_ablation_grouping_granularity(benchmark):
+    rows = benchmark(grouping_ablation, 12, 4)
+    gnodes = [r["gnodes"] for r in rows]
+    mems = [r["mem_words"] for r in rows]
+    assert gnodes == sorted(gnodes, reverse=True)  # fine -> coarse
+    assert mems == sorted(mems, reverse=True)
+    assert rows[-1]["gnodes/cell"] < rows[0]["gnodes/cell"]
+    columns = next(r for r in rows if "paper" in r["grouping"])
+    assert columns["total_time"] == min(r["total_time"] for r in rows)
+    save_table("A-GRP", "G-node granularity ablation (Fig. 9 trade-off)", format_table(rows))

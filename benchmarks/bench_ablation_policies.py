@@ -1,0 +1,34 @@
+"""A-POL (ablation): what the G-set issue order actually trades.
+
+Vertical wins host bandwidth (>=2x better than horizontal) but pays ~3x
+the memory high-water of a wavefront order; the greedy memory-aware
+scheduler lands near the memory optimum.  Throughput is identical
+everywhere.  Builder: :func:`repro.experiments.ablations.policy_ablation`.
+"""
+
+from repro.experiments.ablations import policy_ablation
+from repro.viz import format_table
+
+from _common import save_table
+
+
+def test_ablation_schedule_policies(benchmark):
+    n, m = 16, 4
+    rows = benchmark(policy_ablation, n, m)
+    by = {r["policy"]: r for r in rows}
+    assert max(r["makespan"] for r in rows) - min(r["makespan"] for r in rows) <= m
+    assert all(r["violations"] == 0 and r["stalls"] == 0 for r in rows)
+    assert (
+        by["vertical"]["req_hostBW(preload=nm)"]
+        <= by["wavefront"]["req_hostBW(preload=nm)"]
+        <= by["horizontal"]["req_hostBW(preload=nm)"]
+    )
+    assert by["horizontal"]["req_hostBW(preload=nm)"] > 2 * by["vertical"][
+        "req_hostBW(preload=nm)"
+    ]
+    assert by["vertical"]["mem_highwater"] > 2 * by["wavefront"]["mem_highwater"]
+    assert by["memory-aware"]["mem_highwater"] <= 1.2 * by["wavefront"]["mem_highwater"]
+    save_table(
+        "A-POL", "schedule-policy ablation: host bandwidth vs memory capacity",
+        format_table(rows),
+    )

@@ -1,0 +1,24 @@
+"""T-BASE: comparison against the Núñez-Torralba block partitioning [22].
+
+(n/s)^3 chained kernels with per-kernel control versus one steady
+cut-and-pile schedule; ~2.6x slower at equal cell count; both correct.
+Builder: :func:`repro.experiments.tradeoffs.baseline_sweep`.
+"""
+
+from repro.experiments.tradeoffs import baseline_sweep
+from repro.viz import format_table
+
+from _common import save_table
+
+
+def test_baseline_nunez_torralba(benchmark):
+    rows = benchmark(baseline_sweep)
+    for r in rows:
+        q = -(-r["n"] // int(r["cells"] ** 0.5))
+        assert r["NT_kernels"] == q**3
+        assert r["NT_control_steps"] > 1
+        assert r["speedup"] > 1.0
+    save_table(
+        "T-BASE", "vs Núñez-Torralba block partitioning (same cell count)",
+        format_table(rows),
+    )

@@ -1,0 +1,24 @@
+"""A-CHAIN: chained problem instances on the fixed-size array (Fig. 17).
+
+k overlapped instances co-simulated: no double-booking, all closures
+correct, makespan slope exactly n (measured throughput 1/n).  Builder:
+:func:`repro.experiments.ablations.chained_census`.
+"""
+
+from repro.experiments.ablations import chained_census
+from repro.viz import format_table
+
+from _common import save_table
+
+
+def test_chained_instances_throughput(benchmark):
+    rows = benchmark(chained_census, 8, (1, 2, 4, 6))
+    for r in rows:
+        assert r["all_correct"] and r["violations"] == 0
+        assert r["makespan"] == r["expected"]  # slope == n exactly
+    occs = [r["occupancy"] for r in rows]
+    assert occs == sorted(occs)
+    save_table(
+        "A-CHAIN", "fixed array: k chained instances, makespan slope = n",
+        format_table(rows),
+    )

@@ -1,0 +1,23 @@
+"""A-COST: structural cost of every array design, side by side.
+
+The fixed array needs n(n+1)/m times the cells of the partitioned
+designs (the motivation for partitioning); linear wiring is the
+sparsest.  Builder: :func:`repro.experiments.ablations.cost_census`.
+"""
+
+from repro.experiments.ablations import cost_census
+from repro.viz import format_table
+
+from _common import save_table
+
+
+def test_design_cost_comparison(benchmark):
+    n, m = 16, 4
+    rows = benchmark(cost_census, n, m)
+    lin, mesh, fixed = rows
+    assert fixed["cells"] == n * (n + 1)
+    assert fixed["cells"] / lin["cells"] == n * (n + 1) / m
+    assert lin["links"] < mesh["links"] < fixed["links"]
+    assert fixed["mem_ports"] == 0
+    assert lin["mem_ports"] == m + 1 and mesh["mem_ports"] == 2 * int(m**0.5)
+    save_table("A-COST", "structural cost per design", format_table(rows))

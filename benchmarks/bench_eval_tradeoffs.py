@@ -1,0 +1,26 @@
+"""T-EVAL (Sec. 4.2): the linear vs two-dimensional trade-off table.
+
+Same cell count -> same throughput/utilization formulas; measured values
+differ only by boundary sets; m+1 vs 2*sqrt(m) memory ports; zero
+overhead both.  Builder: :func:`repro.experiments.tradeoffs.tradeoff_sweep`.
+"""
+
+from repro.experiments.tradeoffs import tradeoff_sweep
+from repro.viz import format_table
+
+from _common import save_table
+
+
+def test_eval_linear_vs_mesh_tradeoffs(benchmark):
+    rows = benchmark(tradeoff_sweep)
+    by_cfg = {}
+    for r in rows:
+        by_cfg.setdefault((r["n"], r["m"]), {})[r["geometry"]] = r
+    for (n, m), pair in by_cfg.items():
+        lin, mesh = pair["linear"], pair["mesh"]
+        assert 0.6 < lin["T_measured"] / mesh["T_measured"] < 1.7
+        assert lin["T_measured"] >= mesh["T_measured"]
+        assert lin["overhead"] == mesh["overhead"] == 0
+        assert lin["mem_ports"] == m + 1
+        assert mesh["mem_ports"] == 2 * int(m**0.5)
+    save_table("T-EVAL", "Sec. 4.2 trade-off table, linear vs mesh", format_table(rows))

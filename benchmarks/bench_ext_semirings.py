@@ -1,0 +1,22 @@
+"""A-EXT (extension): one array design, a family of path problems.
+
+The identical partitioned linear array computes reachability, shortest
+paths and bottleneck paths by swapping the semiring; the non-idempotent
+counting semiring is correctly rejected by the pruning precondition.
+Builder: :func:`repro.experiments.ablations.semiring_sweep`.
+"""
+
+from repro.experiments.ablations import semiring_sweep
+from repro.viz import format_table
+
+from _common import save_table
+
+
+def test_extension_semiring_family(benchmark):
+    rows = benchmark(semiring_sweep, 10, 4)
+    for r in rows[:3]:
+        assert r["correct"] is True
+        assert r["pruning_sound"]
+        assert r["violations"] == 0
+    assert rows[3]["pruning_sound"] is False
+    save_table("A-EXT", "one array, three path problems (semiring swap)", format_table(rows))

@@ -1,0 +1,24 @@
+"""T-FT (Sec. 5): fault tolerance — linear arrays degrade gracefully.
+
+A bypassed cell leaves an (m-1)-cell chain; a mesh fault retires a whole
+row.  Builder: :func:`repro.experiments.tradeoffs.fault_sweep`.
+"""
+
+from repro.experiments.tradeoffs import fault_sweep
+from repro.viz import format_table
+
+from _common import save_table
+
+
+def test_fault_tolerance_linear_vs_mesh(benchmark):
+    rows = benchmark(fault_sweep)
+    by_cfg = {}
+    for r in rows:
+        by_cfg.setdefault((r["n"], r["m"], r["failures"]), {})[r["geometry"]] = r
+    for cfg, pair in by_cfg.items():
+        assert pair["linear"]["cells_lost"] < pair["mesh"]["cells_lost"]
+        assert (
+            pair["linear"]["throughput_retention"]
+            > pair["mesh"]["throughput_retention"]
+        )
+    save_table("T-FT", "throughput retention under cell failures", format_table(rows))

@@ -1,0 +1,29 @@
+"""F01 (Fig. 1): coalescing / LSGP and its local-storage cost.
+
+Paper claim: coalescing is simple "but requires local storage within each
+cell [that] might be large (O(n) or O(n^2))".  Coalescing the transitive-
+closure G-graph onto m cells shows the per-cell live-value high-water
+mark growing ~ n^2/m words, while cut-and-pile needs only external
+memory.  Builder: :func:`repro.experiments.schemes.coalescing_storage`.
+"""
+
+from repro.experiments.schemes import coalescing_storage
+from repro.viz import format_table
+
+from _common import save_table
+
+NS = (6, 9, 12, 15)
+
+
+def test_fig01_coalescing_storage(benchmark):
+    rows = benchmark(coalescing_storage, NS, 4)
+    storages = [r["lsgp_storage_per_cell"] for r in rows]
+    assert storages == sorted(storages)
+    assert storages[-1] > storages[0] * (NS[-1] / NS[0])  # super-linear
+    for r in rows:
+        assert 0.2 * r["n^2/m"] <= r["lsgp_storage_per_cell"] <= 5 * r["n^2/m"]
+    save_table(
+        "F01",
+        "coalescing (LSGP) per-cell storage vs cut-and-pile (LPGS)",
+        format_table(rows),
+    )

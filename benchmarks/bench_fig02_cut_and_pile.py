@@ -1,0 +1,21 @@
+"""F02 (Fig. 2): cut-and-pile / LPGS — the scheme the paper adopts.
+
+Reproduced claims: zero partitioning overhead (no stalls in the m << n
+regime); intermediate results move through external memories; per-cell
+storage stays O(1).  Builder:
+:func:`repro.experiments.schemes.cut_and_pile_census`.
+"""
+
+from repro.experiments.schemes import cut_and_pile_census
+from repro.viz import format_table
+
+from _common import save_table
+
+
+def test_fig02_cut_and_pile(benchmark):
+    rows = benchmark(cut_and_pile_census)
+    for r in rows:
+        assert r["stalls"] == 0  # zero overhead due to partitioning
+        assert r["overhead"] == 0
+        assert r["external_words"] > 0  # data piles through memory
+    save_table("F02", "cut-and-pile (LPGS) execution census", format_table(rows))

@@ -1,0 +1,23 @@
+"""F03 (Fig. 3): decomposition into band sub-algorithms (Navarro et al.).
+
+Reproduced claims: a dense product becomes ceil(n/w) band passes; the
+accumulating result is re-read and re-written every pass (the scheme's
+signature external traffic).  Builder:
+:func:`repro.experiments.schemes.band_decomposition`.
+"""
+
+from repro.experiments.schemes import band_decomposition
+from repro.viz import format_table
+
+from _common import save_table
+
+
+def test_fig03_band_decomposition(benchmark):
+    n = 24
+    rows = benchmark(band_decomposition, n, (2, 4, 8, 12, 24))
+    passes = [r["passes"] for r in rows]
+    assert passes == sorted(passes, reverse=True)
+    assert rows[-1]["passes"] == 1
+    assert rows[-1]["C_traffic_words"] == n * n
+    assert rows[0]["C_traffic_words"] > 10 * n * n
+    save_table("F03", "band decomposition of dense matmul", format_table(rows))

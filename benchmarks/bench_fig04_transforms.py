@@ -1,0 +1,20 @@
+"""F04 (Fig. 4): the graph rewrites remove broadcasts and add delays.
+
+Reproduced claims: broadcast -> pipeline (Fig. 4a) drops the maximum
+fan-out from O(n) to 1 while preserving the computed function.  Builder:
+:func:`repro.experiments.pipeline.transform_census`.
+"""
+
+from repro.experiments.pipeline import transform_census
+from repro.viz import format_table
+
+from _common import save_table
+
+
+def test_fig04_transform_rewrites(benchmark):
+    rows = benchmark(transform_census, (4, 6, 8, 10))
+    for r in rows:
+        assert r["semantics_preserved"]
+        assert r["fanout_pipelined"] == 1
+        assert r["fanout_before"] >= 2 * r["n"] - 3  # O(n) broadcast fan-out
+    save_table("F04", "broadcast removal: max fan-out O(n) -> 1", format_table(rows))

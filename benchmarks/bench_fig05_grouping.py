@@ -1,0 +1,23 @@
+"""F05 (Figs. 5/6): grouping alternatives and their G-graph properties.
+
+The diagonal-path (column) grouping gives nearest-neighbour G-edges with
+one communication path and uniform times (the Fig. 17 winner); rows leave
+long wrap edges; cyclic anti-diagonal classes are rejected outright.
+Builder: :func:`repro.experiments.pipeline.grouping_census`.
+"""
+
+from repro.experiments.pipeline import grouping_census
+from repro.viz import format_table
+
+from _common import N_DEFAULT, save_table
+
+
+def test_fig05_grouping_alternatives(benchmark):
+    rows = benchmark(grouping_census, N_DEFAULT)
+    by_name = {r["grouping"]: r for r in rows}
+    winner = by_name["diagonal-paths (cols)"]
+    assert winner["uniform_time"] and winner["nearest_neighbour"]
+    assert winner["distinct_edge_dirs"] == 2  # right + down-left only
+    assert not by_name["horizontal-paths (rows)"]["nearest_neighbour"]
+    assert by_name["cyclic anti-diagonals"]["max_time"].startswith("REJECTED")
+    save_table("F05", "grouping alternatives (Fig. 6)", format_table(rows))

@@ -1,0 +1,20 @@
+"""F07 (Figs. 7/8/9): G-set mapping; per-set uniformity suffices.
+
+Fig. 8's point measured: every linear G-set is internally uniform even on
+LU's globally non-uniform G-graph; Fig. 9: many more G-nodes than cells.
+Builder: :func:`repro.experiments.pipeline.gset_census`.
+"""
+
+from repro.experiments.pipeline import gset_census
+from repro.viz import format_table
+
+from _common import M_DEFAULT, N_DEFAULT, save_table
+
+
+def test_fig07_gset_mapping(benchmark):
+    rows = benchmark(gset_census, N_DEFAULT, M_DEFAULT)
+    for r in rows:
+        assert r["gnodes"] > 5 * r["cells"]  # Fig. 9
+        assert r["uniform_gsets"] == r["gsets"]  # Fig. 8
+    assert not rows[1]["globally_uniform"]  # ... even on LU
+    save_table("F07", "G-set selection: per-set uniformity suffices", format_table(rows))

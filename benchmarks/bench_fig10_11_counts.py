@@ -1,0 +1,21 @@
+"""F10/F11 (Figs. 10/11): FPDG size and superfluous-node pruning.
+
+n^3 op nodes with O(n) fan-out; exactly n(n-1)(n-2) = n^3 - 3n^2 + 2n
+computations remain after pruning.  Builder:
+:func:`repro.experiments.pipeline.count_census`.
+"""
+
+from repro.experiments.pipeline import count_census
+from repro.viz import format_table
+
+from _common import save_table
+
+
+def test_fig10_11_node_counts(benchmark):
+    rows = benchmark(count_census, (4, 6, 8, 10, 12))
+    for r in rows:
+        assert r["full_ops"] == r["n^3"]
+        assert r["pruned_ops"] == r["n(n-1)(n-2)"]
+        assert r["superfluous"] == 3 * r["n"] ** 2 - 2 * r["n"]
+        assert r["max_fanout"] >= r["n"]  # broadcasting is O(n)
+    save_table("F10-F11", "FPDG size and superfluous-node pruning", format_table(rows))

@@ -1,0 +1,29 @@
+"""F12/F15 (Figs. 12-16): the transformation pipeline, stage by stage.
+
+Per stage: pipelining kills the O(n) fan-out (Fig. 12) but flow is
+bi-directional; the flips make it uni-directional (Fig. 14); the delay
+column collapses the stencil variety and makes the diagonal grouping
+nearest-neighbour (Fig. 16).  Every stage still computes the closure.
+Builder: :func:`repro.experiments.pipeline.stage_census`.
+"""
+
+from repro.algorithms.transitive_closure import tc_regular
+from repro.core.ggraph import GGraph, group_by_columns
+from repro.experiments.pipeline import stage_census
+from repro.viz import format_table
+
+from _common import N_DEFAULT, save_table
+
+
+def test_fig12_16_transformation_pipeline(benchmark):
+    rows = benchmark(stage_census, N_DEFAULT)
+    by = {r["stage"]: r for r in rows}
+    assert all(r["closure_ok"] for r in rows)
+    assert by["full"]["max_fanout"] >= N_DEFAULT
+    assert by["pipelined"]["max_fanout"] <= 5
+    assert not by["pipelined"]["unidirectional"]
+    assert by["unidirectional"]["unidirectional"]
+    assert by["regular"]["unidirectional"]
+    assert by["regular"]["stencils"] < by["unidirectional"]["stencils"]
+    assert GGraph(tc_regular(N_DEFAULT), group_by_columns).is_nearest_neighbour()
+    save_table("F12-F16", "transformation pipeline property census", format_table(rows))

@@ -1,0 +1,26 @@
+"""F17 (Fig. 17): the fixed-size arrays derived from the G-graph.
+
+Ours: throughput 1/n, transfers overlapped, no external memory; Kung's
+[23]: initiation 2n with n^2 pure-load cycles; the linear collapse:
+throughput 1/(n(n+1)) fully utilized.  Builder:
+:func:`repro.experiments.arrays.fixed_array_census`.
+"""
+
+from repro.experiments.arrays import fixed_array_census
+from repro.viz import format_table
+
+from _common import save_table
+
+
+def test_fig17_fixed_size_arrays(benchmark):
+    rows = benchmark(fixed_array_census, (5, 8, 11))
+    for r in rows:
+        assert r["ours_ok"] and r["kung_ok"] and r["linear_ok"]
+        assert r["ours_II"] == r["n"]  # throughput 1/n
+        assert r["kung_II"] == 2 * r["n"]  # load not overlapped: half speed
+        assert r["ours_mem_words"] == 0  # single path, no parking
+        assert r["linear_II"] == r["n(n+1)"]  # throughput 1/(n(n+1))
+    save_table(
+        "F17", "fixed-size arrays: ours vs Kung [23]; linear collapse",
+        format_table(rows),
+    )

@@ -1,0 +1,26 @@
+"""F18 (Fig. 18 / Sec. 4.2): the partitioned linear array, cycle-measured.
+
+T = m/(n^2(n+1)) and U = (n-1)(n-2)/(n(n+1)) exactly when m | n+1; zero
+stalls; m+1 memory ports; the computed matrix equals the software
+closure.  Builder: :func:`repro.experiments.arrays.linear_sweep`.
+"""
+
+from repro.experiments.arrays import linear_sweep
+from repro.viz import format_table
+
+from _common import save_table
+
+
+def test_fig18_linear_partitioned(benchmark):
+    rows = benchmark(linear_sweep)
+    for r in rows:
+        assert r["closure_ok"] and r["violations"] == 0
+        assert r["stalls"] == 0
+        assert r["mem_ports"] == r["m"] + 1
+        if (r["n"] + 1) % r["m"] == 0:  # paper's divisibility assumption
+            assert r["T_measured"] == r["T_paper"]
+            assert abs(r["U_measured"] - r["U_paper"]) < 1e-12
+    save_table(
+        "F18", "linear partitioned array: measured vs Sec. 4.2 formulas",
+        format_table(rows),
+    )

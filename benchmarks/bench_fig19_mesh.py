@@ -1,0 +1,23 @@
+"""F19 (Fig. 19 / Sec. 4.2): the partitioned two-dimensional array.
+
+Same throughput class as the linear array (the triangular boundary sets
+of Fig. 19a cost 7-13%), 2*sqrt(m) memory connections, zero stalls,
+correct closures.  Builder: :func:`repro.experiments.arrays.mesh_sweep`.
+"""
+
+from repro.experiments.arrays import mesh_sweep
+from repro.viz import format_table
+
+from _common import save_table
+
+
+def test_fig19_mesh_partitioned(benchmark):
+    rows = benchmark(mesh_sweep)
+    for r in rows:
+        assert r["closure_ok"]
+        assert r["stalls"] == 0
+        side = int(r["m"] ** 0.5)
+        assert r["mem_ports"] == 2 * side
+        assert 0.6 < r["T_ratio"] <= 1.0
+        assert r["boundary_sets"] > 0  # Fig. 19a's triangular sets exist
+    save_table("F19", "2-D partitioned array: measured vs Sec. 4.2", format_table(rows))

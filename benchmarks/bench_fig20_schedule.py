@@ -1,0 +1,33 @@
+"""F20 (Fig. 20): G-set scheduling by vertical paths.
+
+All policies produce legal pipelined orders with zero stalls; ASAP tags
+increase along G-rows and G-columns exactly as the figure draws them.
+Builder: :func:`repro.experiments.arrays.schedule_census`.
+"""
+
+from repro.algorithms.transitive_closure import tc_regular
+from repro.core.ggraph import GGraph, group_by_columns
+from repro.core.gsets import make_linear_gsets, schedule_gsets
+from repro.experiments.arrays import schedule_census
+from repro.viz import format_table, render_schedule
+
+from _common import M_DEFAULT, N_DEFAULT, save_table
+
+
+def test_fig20_scheduling(benchmark):
+    rows = benchmark(schedule_census, N_DEFAULT, M_DEFAULT)
+    for r in rows:
+        assert r["violations"] == 0 and r["stalls"] == 0
+    gg = GGraph(tc_regular(N_DEFAULT), group_by_columns)
+    asap = gg.asap_times()
+    for (k, c), t in asap.items():
+        if (k, c + 1) in asap:
+            assert asap[(k, c + 1)] > t
+        if (k + 1, c - 1) in asap:
+            assert asap[(k + 1, c - 1)] > t
+    plan = make_linear_gsets(gg, M_DEFAULT)
+    vertical = schedule_gsets(plan, "vertical")
+    body = format_table(rows) + "\n\nvertical-path order:\n" + render_schedule(
+        vertical[:24]
+    )
+    save_table("F20", "G-set scheduling policies (all legal, zero stalls)", body)

@@ -1,0 +1,21 @@
+"""F21 (Fig. 21): host I/O bandwidth and the R-block decoupling chain.
+
+Aggregate demand ~ m/(n+1) <= m/n; a chain fed at exactly m/n words/cycle
+meets every delivery deadline with a modest preload and per-column R
+memory.  Builder: :func:`repro.experiments.arrays.io_census`.
+"""
+
+from repro.experiments.arrays import io_census
+from repro.viz import format_table
+
+from _common import save_table
+
+
+def test_fig21_io_bandwidth(benchmark):
+    rows = benchmark(io_census)
+    for r in rows:
+        assert r["chain@m/n_ok"]  # a host at m/n words/cycle suffices
+        assert r["avg_D_IO"] <= r["paper_m/n"]
+        assert r["avg_D_IO"] > 0.5 * r["paper_m/n"]
+        assert r["words"] == r["n"] ** 2
+    save_table("F21", "host bandwidth m/n with the R-block chain", format_table(rows))

@@ -1,0 +1,29 @@
+"""F22 (Fig. 22 / Sec. 4.3): G-nodes with different computation times.
+
+Linear G-sets along the uniform paths never mix times (loss exactly 0,
+Fig. 22b); 2-D blocks necessarily do (Fig. 22a); occupancy decomposes as
+1 = occ + mixing + boundary.  Builder:
+:func:`repro.experiments.tradeoffs.varying_time_census`.
+"""
+
+from repro.experiments.tradeoffs import varying_time_census
+from repro.viz import format_table
+
+from _common import save_table
+
+
+def test_fig22_varying_computation_time(benchmark):
+    rows = benchmark(varying_time_census, 12, 4)
+    for r in rows:
+        assert r["linear_mixing_loss"] == 0.0  # Fig. 22b
+        assert r["mesh_mixing_loss"] > 0.02  # Fig. 22a
+        assert abs(
+            r["linear_occ"] + r["linear_mixing_loss"] + r["linear_boundary"] - 1
+        ) < 1e-12
+        assert abs(
+            r["mesh_occ"] + r["mesh_mixing_loss"] + r["mesh_boundary"] - 1
+        ) < 1e-12
+    save_table(
+        "F22", "varying G-node times: mixing loss (linear 0 vs mesh > 0)",
+        format_table(rows),
+    )

@@ -1,0 +1,29 @@
+"""A-HYB: the hybrid scheme the paper conjectures (Sec. 2).
+
+"Cut-and-pile performed first ... and then coalescing applied over the
+partitions would help reducing the memory requirements of applying
+coalescing alone."  Measured: per-cell storage falls monotonically with
+the pile count while external traffic rises toward pure cut-and-pile.
+Builder: :func:`repro.experiments.ablations.hybrid_census`.
+"""
+
+from repro.experiments.ablations import hybrid_census
+from repro.viz import format_table
+
+from _common import save_table
+
+
+def test_hybrid_spectrum(benchmark):
+    rows = benchmark(hybrid_census, 16, 4)
+    storages = [r["local_storage"] for r in rows]
+    externals = [r["external_words"] for r in rows]
+    # The paper's claim: storage falls as piling increases...
+    assert storages == sorted(storages, reverse=True)
+    assert storages[0] > 2 * storages[-2] > 0  # hybrid cuts LSGP storage
+    assert storages[-1] == 0  # ... down to pure LPGS
+    # ... while external traffic climbs between the two extremes.
+    assert externals == sorted(externals)
+    assert externals[0] == 0
+    save_table(
+        "A-HYB", "hybrid cut-and-pile + coalescing spectrum", format_table(rows)
+    )

@@ -1,0 +1,8 @@
+"""Repo-level pytest configuration: make ``src/`` importable everywhere."""
+
+import sys
+from pathlib import Path
+
+SRC = Path(__file__).parent / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))

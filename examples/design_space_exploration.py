@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Design-space exploration: pick an array for a given problem size.
+
+A downstream user's question: "I must close 24-node graphs at a given
+rate — how many cells, and linear or mesh?"  This example sweeps the
+design space with the Sec. 4.1 measures and the fault-tolerance analysis,
+reproducing the paper's Sec. 5 conclusion on the way: at equal cell
+count the linear array matches the mesh's throughput, with simpler
+memory structure and better fault behaviour.
+
+Run:  python examples/design_space_exploration.py
+"""
+
+from __future__ import annotations
+
+from repro import partition_transitive_closure
+from repro.algorithms.transitive_closure import tc_regular
+from repro.core.ggraph import GGraph, group_by_columns
+from repro.arrays.faults import degraded_throughput
+from repro.viz import format_table
+
+
+def main() -> None:
+    n = 24
+    print(f"Design-space exploration for transitive closure, n={n}\n")
+
+    rows = []
+    for m, geometry in [
+        (2, "linear"), (4, "linear"), (4, "mesh"),
+        (6, "linear"), (8, "linear"), (9, "mesh"), (12, "linear"),
+    ]:
+        impl = partition_transitive_closure(n=n, m=m, geometry=geometry)
+        r = impl.report
+        rows.append(
+            {
+                "m": m,
+                "geometry": geometry,
+                "cycles/closure": r.total_time,
+                "throughput": float(r.throughput),
+                "utilization": float(r.utilization),
+                "mem_ports": r.memory_connections,
+                "D_IO(avg)": float(r.io_bandwidth),
+                "boundary_sets": r.boundary_gsets,
+            }
+        )
+    print(format_table(rows))
+
+    # Throughput scales ~ linearly with m; cost scales with ports.
+    print("\nThroughput per cell (how efficiently each added cell is used):")
+    for r in rows:
+        print(f"  m={r['m']:>2} {r['geometry']:>6}: "
+              f"{r['throughput'] / r['m']:.2e} closures/cycle/cell")
+
+    # Fault behaviour at the m=4 design point.
+    gg = GGraph(tc_regular(n), group_by_columns)
+    ft = degraded_throughput(gg, 4, failures=1)
+    print("\nOne failed cell at m=4:")
+    for geometry, rep in ft.items():
+        print(f"  {geometry:>6}: {rep.cells_used}/{rep.m} cells usable, "
+              f"throughput retained {float(rep.retention):.0%}")
+
+    lin = next(r for r in rows if r["m"] == 4 and r["geometry"] == "linear")
+    mesh = next(r for r in rows if r["m"] == 4 and r["geometry"] == "mesh")
+    ratio = lin["throughput"] / mesh["throughput"]
+    lin_ret = float(ft["linear"].retention)
+    mesh_ret = float(ft["mesh"].retention)
+    print(
+        "\nConclusion (the paper's Sec. 5): at m=4 the two geometries are in "
+        f"the same throughput class (linear/mesh ratio {ratio:.2f}; the "
+        "difference is only boundary G-sets), but the linear array needs a "
+        "single one-dimensional schedule with one control stream, and under "
+        f"one cell failure it retains {lin_ret:.0%} of its throughput versus "
+        f"the mesh's {mesh_ret:.0%} -> choose the linear array."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Apply the partitioning methodology to your own algorithm (LU here).
+
+The paper's procedure is algorithm-agnostic: give it a transformed
+dependence graph and a grouping, and it produces G-sets, a schedule and
+the performance report.  This example walks LU decomposition through the
+generic `partition()` API — including the Sec. 4.3 lesson that shows up
+automatically: LU's G-nodes cannot all have one computation time, so the
+linear mapping (uniform G-sets) beats the mesh (time-mixing G-sets).
+
+Run:  python examples/partition_custom_algorithm.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import partition
+from repro.algorithms.lu import lu_graph, lu_group_by_columns, lu_inputs
+from repro.core.evaluate import evaluate
+from repro.core.metrics import boundary_loss, time_mixing_loss
+from repro.viz import render_ggraph_times
+
+
+def main() -> None:
+    n, m = 10, 4
+    print(f"Partitioning LU decomposition: n={n}, m={m}\n")
+
+    # Step 1 (front-end): the transformed dependence graph.  The LU
+    # generator already pipelines the pivot/multiplier broadcasts.
+    dg = lu_graph(n)
+    dg.validate()
+    print(f"dependence graph: {dg}")
+
+    # Steps 2-3: group into G-nodes, select and schedule G-sets.
+    lin = partition(dg, lu_group_by_columns, m=m, geometry="linear")
+    mesh = partition(dg, lu_group_by_columns, m=m, geometry="mesh")
+
+    print("\nG-node computation times (Fig. 22a — uniform per level,")
+    print("decreasing across levels):")
+    print(render_ggraph_times(lin.gg))
+
+    print("\nLinear vs mesh mapping of the same G-graph:")
+    for name, impl in (("linear", lin), ("mesh", mesh)):
+        mix = float(time_mixing_loss(impl.plan, impl.order))
+        bnd = float(boundary_loss(impl.plan, impl.order))
+        print(f"  {name:>6}: {impl.report.total_time:>4} cycles, "
+              f"occupancy={float(impl.report.occupancy):.3f} "
+              f"(time-mixing loss {mix:.3f}, boundary loss {bnd:.3f})")
+
+    assert float(time_mixing_loss(lin.plan, lin.order)) == 0.0
+
+    # The G-graph still computes a correct factorization: evaluate the
+    # graph functionally and reconstruct A = L @ U.
+    rng = np.random.default_rng(0)
+    a = rng.random((n, n)) + n * np.eye(n)
+    outs = evaluate(dg, lu_inputs(a))
+    lo, up = np.eye(n), np.zeros((n, n))
+    for i in range(n):
+        for j in range(n):
+            if i > j:
+                lo[i, j] = outs[("L", i, j)]
+            else:
+                up[i, j] = outs[("U", i, j)]
+    assert np.allclose(lo @ up, a)
+    print("\nOK: the partitioned graph factorizes A = L @ U exactly;")
+    print("the linear array wastes zero cycles to time mixing (Fig. 22b).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""Graph-based partitioning of matrix algorithms for systolic arrays.
+
+A full reproduction of Moreno & Lang (ICPP 1988): the transformational
+partitioning methodology (dependence graph -> transformed graph -> G-graph
+-> G-sets -> array), its application to transitive closure, the linear /
+two-dimensional / fixed-size arrays it derives, the Sec. 4 evaluation
+measures, and the baselines the paper argues against — all executable on
+a cycle-level systolic-array simulator.
+
+Quickstart::
+
+    import numpy as np
+    from repro import partition_transitive_closure
+    from repro.algorithms.warshall import random_adjacency, warshall
+
+    impl = partition_transitive_closure(n=12, m=4, geometry="linear")
+    print(impl.report.row())          # throughput, utilization, D_IO, ...
+    a = random_adjacency(12, seed=0)
+    assert np.array_equal(impl.run(a), warshall(a))
+
+Package map (see DESIGN.md for the full inventory):
+
+* :mod:`repro.core` — the methodology: graph IR, analyses,
+  transformations, G-graphs, G-sets, schedules, metrics;
+* :mod:`repro.algorithms` — dependence-graph front-ends (transitive
+  closure stages of Figs. 10-17, matmul, LU, Faddeev, Givens, triangular
+  inverse) and software oracles;
+* :mod:`repro.arrays` — array topologies, execution plans, the
+  cycle-level simulator, the Fig. 21 host interface, fault analysis;
+* :mod:`repro.partitioning` — coalescing (Fig. 1), cut-and-pile (Fig. 2),
+  sub-algorithm decomposition (Fig. 3);
+* :mod:`repro.baselines` — Kung's fixed-size array [23] and the
+  Núñez-Torralba block partitioning [22];
+* :mod:`repro.viz` — ASCII renderings of the figures.
+"""
+
+from .core.partitioner import (  # noqa: F401
+    PartitionedImplementation,
+    partition,
+    partition_transitive_closure,
+)
+from .core.semiring import (  # noqa: F401
+    BOOLEAN,
+    COUNTING,
+    MAX_MIN,
+    MIN_PLUS,
+    REAL,
+    SEMIRINGS,
+    Semiring,
+)
+from .core.graph import Axis, DependenceGraph, NodeKind, PortRef, port  # noqa: F401
+from .core.ggraph import GGraph, group_by_columns, group_by_rows  # noqa: F401
+from .core.verify import VerificationReport, verify_implementation  # noqa: F401
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PartitionedImplementation",
+    "partition",
+    "partition_transitive_closure",
+    "DependenceGraph",
+    "NodeKind",
+    "Axis",
+    "PortRef",
+    "port",
+    "GGraph",
+    "group_by_columns",
+    "group_by_rows",
+    "VerificationReport",
+    "verify_implementation",
+    "Semiring",
+    "BOOLEAN",
+    "MIN_PLUS",
+    "MAX_MIN",
+    "COUNTING",
+    "REAL",
+    "SEMIRINGS",
+    "__version__",
+]

@@ -1,0 +1,1 @@
+"""Dependence-graph front-ends for the matrix algorithms studied."""

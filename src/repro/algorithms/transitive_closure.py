@@ -1,0 +1,499 @@
+"""Dependence-graph pipeline for transitive closure (Section 3 / Figs. 10-17).
+
+This module constructs, as explicit :class:`~repro.core.graph.DependenceGraph`
+objects, every stage the paper draws for the transitive-closure algorithm:
+
+=================  ==============================================
+:func:`tc_full`            Fig. 10 — fully-parallel graph, ``n^3`` op nodes,
+                           row and element broadcasting.
+:func:`tc_pruned`          Fig. 11 — superfluous nodes removed;
+                           ``n(n-1)(n-2)`` op nodes remain.
+:func:`tc_pipelined`       Fig. 12 — broadcasting replaced by pipelined
+                           chains; *bi-directional* data flow (chains grow
+                           outward from the broadcast source in both
+                           directions).
+:func:`tc_unidirectional`  Fig. 13/14 — nodes flipped across the broadcast
+                           sources (realised as the cyclic re-indexing
+                           ``r=(i-k) mod n``, ``c=(j-k) mod n``); flow is
+                           uni-directional but the inter-level communication
+                           pattern is still irregular at strip boundaries
+                           (Fig. 15).
+:func:`tc_regular`         Fig. 16 — one delay column appended per level;
+                           every interior node now has the same stencil.
+                           Grouping its columns yields the Fig. 17 G-graph
+                           (n horizontal paths x (n+1) G-nodes of
+                           computation time n).
+=================  ==============================================
+
+Geometry of the regularized graph
+---------------------------------
+Level ``k`` (one outer-loop iteration) is an ``n x (n+1)`` grid in *local*
+coordinates: row ``r`` holds matrix row ``i=(k+r) mod n``; column ``c``
+(for ``c<n``) holds matrix column ``j=(k+c) mod n``; column ``c=n`` is the
+delay column.  Every grid cell with ``c<n`` is a ``mac`` node computing
+
+    out = a (+) (b (x) c)
+
+where ``a`` comes from the previous level, ``b`` travels rightward along
+the row (the element broadcast *within* each row of Fig. 10, pipelined),
+and ``c`` travels downward along the column (the broadcast of matrix row
+``k``, pipelined).  Boundary cells source their own chain: at ``c=0`` the
+``b`` operand is the node's own ``a`` value (``x[i,k]``), at ``r=0`` the
+``c`` operand is its own ``a`` value (``x[k,j]``); the ``mac`` result at
+those cells — and on the main diagonal ``i=j`` — provably equals ``a``
+(the paper's superfluous-node argument), so the cells act as transmitters
+while keeping a perfectly uniform structure.
+
+The chains also *deliver the wrap-around values*: row ``k``'s updated
+values ride the ``c`` chains to the bottom row, and column ``k``'s values
+ride the ``b`` chains to the delay column, which is exactly why the next
+level can read all of its ``a`` operands from nearest neighbours — the
+irregular strip-boundary communication of Fig. 15 disappears (this is the
+transformation of Fig. 15c).
+
+All stages are functionally equivalent: evaluating any of them on an
+adjacency matrix yields the transitive closure (over any closed idempotent
+semiring whose ``(x)``-identity sits on the diagonal; see
+:mod:`repro.core.semiring`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+import numpy as np
+
+from ..core.graph import Axis, DependenceGraph, NodeId, PortRef, port
+from ..core.semiring import BOOLEAN, Semiring
+from ..core.evaluate import evaluate
+
+__all__ = [
+    "tc_full",
+    "tc_pruned",
+    "tc_pipelined",
+    "tc_unidirectional",
+    "tc_regular",
+    "tc_stage",
+    "TC_STAGES",
+    "make_inputs",
+    "read_output_matrix",
+    "run_graph",
+    "is_computed",
+    "expected_full_ops",
+    "expected_computed_ops",
+    "expected_regular_slots",
+    "node_tag_census",
+]
+
+
+# ----------------------------------------------------------------------
+# Bookkeeping helpers (Sec. 3.1 / Sec. 4.2 formulas)
+# ----------------------------------------------------------------------
+
+def is_computed(n: int, k: int, i: int, j: int) -> bool:
+    """True when node ``(k,i,j)`` of the FPDG is *not* superfluous.
+
+    Fig. 11: at level ``k`` the nodes of row ``k`` (``i==k``), of column
+    ``k`` (``j==k``) and of the main diagonal (``i==j``) never change the
+    value they would compute.
+    """
+    return i != k and j != k and i != j
+
+
+def expected_full_ops(n: int) -> int:
+    """Op-node count of the fully-parallel graph (Fig. 10): ``n^3``."""
+    return n**3
+
+
+def expected_computed_ops(n: int) -> int:
+    """Nodes that must actually be computed (Fig. 11): ``n(n-1)(n-2)``."""
+    return n * (n - 1) * (n - 2)
+
+
+def expected_regular_slots(n: int) -> int:
+    """Slot count of the regularized graph / G-graph: ``n^2 (n+1)``.
+
+    ``n`` levels, each an ``n x (n+1)`` grid; this is the utilization
+    denominator of Section 4.2.
+    """
+    return n * n * (n + 1)
+
+
+# ----------------------------------------------------------------------
+# Stage A -- Fig. 10: fully-parallel dependence graph
+# ----------------------------------------------------------------------
+
+def tc_full(n: int) -> DependenceGraph:
+    """Fully-parallel dependence graph of Warshall's algorithm (Fig. 10).
+
+    ``n^3`` op nodes; level ``k`` broadcasts matrix row ``k`` to all rows
+    and element ``x[i,k]`` within each row ``i`` — the fan-outs the
+    analysis in :mod:`repro.core.analysis` reports as broadcasts.
+    """
+    _check_n(n)
+    dg = DependenceGraph(f"tc_full(n={n})")
+    for i in range(n):
+        for j in range(n):
+            dg.add_input(("in", i, j), pos=(-1, i, j))
+
+    def val(k: int, i: int, j: int) -> NodeId:
+        return ("in", i, j) if k < 0 else ("op", k, i, j)
+
+    for k in range(n):
+        for i in range(n):
+            for j in range(n):
+                dg.add_op(
+                    ("op", k, i, j),
+                    "mac",
+                    {
+                        "a": val(k - 1, i, j),
+                        "b": val(k - 1, i, k),
+                        "c": val(k - 1, k, j),
+                    },
+                    pos=(k, i, j),
+                    tag="compute",
+                    axes={"a": Axis.LEVEL, "b": Axis.BROADCAST, "c": Axis.BROADCAST},
+                )
+    for i in range(n):
+        for j in range(n):
+            dg.add_output(("out", i, j), val(n - 1, i, j), pos=(n, i, j))
+    _attach_drawing(dg, n, flipped=False)
+    return dg
+
+
+# ----------------------------------------------------------------------
+# Stage B -- Fig. 11: superfluous nodes removed
+# ----------------------------------------------------------------------
+
+def tc_pruned(n: int) -> DependenceGraph:
+    """Fig. 11: the FPDG with superfluous nodes removed.
+
+    Exactly ``n(n-1)(n-2)`` op nodes remain; values of pruned positions
+    are carried by the edge from their last actual producer (the data
+    line simply stretches over the removed node).
+    """
+    _check_n(n)
+    dg = DependenceGraph(f"tc_pruned(n={n})")
+    for i in range(n):
+        for j in range(n):
+            dg.add_input(("in", i, j), pos=(-1, i, j))
+
+    def val(k: int, i: int, j: int) -> NodeId:
+        while k >= 0 and not is_computed(n, k, i, j):
+            k -= 1
+        return ("in", i, j) if k < 0 else ("op", k, i, j)
+
+    for k in range(n):
+        for i in range(n):
+            for j in range(n):
+                if not is_computed(n, k, i, j):
+                    continue
+                dg.add_op(
+                    ("op", k, i, j),
+                    "mac",
+                    {
+                        "a": val(k - 1, i, j),
+                        "b": val(k - 1, i, k),
+                        "c": val(k - 1, k, j),
+                    },
+                    pos=(k, i, j),
+                    tag="compute",
+                    axes={"a": Axis.LEVEL, "b": Axis.BROADCAST, "c": Axis.BROADCAST},
+                )
+    for i in range(n):
+        for j in range(n):
+            dg.add_output(("out", i, j), val(n - 1, i, j), pos=(n, i, j))
+    _attach_drawing(dg, n, flipped=False)
+    return dg
+
+
+# ----------------------------------------------------------------------
+# Stage C -- Fig. 12: broadcasting replaced by pipelining (bi-directional)
+# ----------------------------------------------------------------------
+
+def tc_pipelined(n: int) -> DependenceGraph:
+    """Fig. 12: broadcasts serialized into chains through the consumers.
+
+    Matrix row ``k``'s element ``x[k,j]`` now *flows* through the column-
+    ``j`` nodes of level ``k`` (forwarded on each node's ``c`` port), and
+    ``x[i,k]`` flows through the row-``i`` nodes (``b`` port).  The chains
+    grow outward from the broadcast source in both directions — the
+    bi-directional flow the flip transformations of Fig. 13 remove.
+    Positions remain in global ``(k, i, j)`` coordinates.
+    """
+    _check_n(n)
+    dg = DependenceGraph(f"tc_pipelined(n={n})")
+    for i in range(n):
+        for j in range(n):
+            dg.add_input(("in", i, j), pos=(-1, i, j))
+
+    def val(k: int, i: int, j: int) -> NodeId:
+        while k >= 0 and not is_computed(n, k, i, j):
+            k -= 1
+        return ("in", i, j) if k < 0 else ("op", k, i, j)
+
+    for k in range(n):
+        # b-operand source for each consumer, threaded along the row.
+        b_src: dict[tuple[int, int], NodeId | PortRef] = {}
+        for i in range(n):
+            if i == k:
+                continue
+            source = val(k - 1, i, k)
+            for js in (range(k + 1, n), range(k - 1, -1, -1)):
+                prev: NodeId | PortRef = source
+                for j in js:
+                    if not is_computed(n, k, i, j):
+                        continue
+                    b_src[(i, j)] = prev
+                    prev = port(("op", k, i, j), "b")
+        # c-operand source for each consumer, threaded down the column.
+        c_src: dict[tuple[int, int], NodeId | PortRef] = {}
+        for j in range(n):
+            if j == k:
+                continue
+            source = val(k - 1, k, j)
+            for is_ in (range(k + 1, n), range(k - 1, -1, -1)):
+                prev = source
+                for i in is_:
+                    if not is_computed(n, k, i, j):
+                        continue
+                    c_src[(i, j)] = prev
+                    prev = port(("op", k, i, j), "c")
+        # Add nodes outward from the broadcast sources so every chain
+        # predecessor exists before its consumer (chains run away from
+        # row/column k in both directions).
+        level_nodes = [
+            (i, j)
+            for i in range(n)
+            for j in range(n)
+            if is_computed(n, k, i, j)
+        ]
+        level_nodes.sort(key=lambda ij: abs(ij[0] - k) + abs(ij[1] - k))
+        for i, j in level_nodes:
+            dg.add_op(
+                ("op", k, i, j),
+                "mac",
+                {"a": val(k - 1, i, j), "b": b_src[(i, j)], "c": c_src[(i, j)]},
+                pos=(k, i, j),
+                tag="compute",
+                axes={"a": Axis.LEVEL, "b": Axis.DIAGONAL, "c": Axis.VERTICAL},
+            )
+    for i in range(n):
+        for j in range(n):
+            dg.add_output(("out", i, j), val(n - 1, i, j), pos=(n, i, j))
+    _attach_drawing(dg, n, flipped=False)
+    return dg
+
+
+# ----------------------------------------------------------------------
+# Stages D & E -- Figs. 13-16: flipped grids, then the delay column
+# ----------------------------------------------------------------------
+
+def _grid_graph(n: int, with_delay_column: bool, name: str) -> DependenceGraph:
+    """Common constructor for the flipped level grids (stages D and E).
+
+    Each level ``k`` is an ``n x n`` grid of ``mac`` nodes in local
+    coordinates (plus, for stage E, the delay column ``c=n``).  See the
+    module docstring for the full geometry.
+    """
+    _check_n(n)
+    dg = DependenceGraph(name)
+    for i in range(n):
+        for j in range(n):
+            dg.add_input(("in", i, j), pos=(-1, i, j))
+
+    def a_source(k: int, r: int, c: int) -> NodeId | PortRef:
+        """Producer of the previous-level value needed at local (r, c).
+
+        ``k`` is the consuming level; the producer lives at level ``k-1``
+        local position ``(r+1, c+1)`` (the strips shift by one in both
+        local coordinates between levels).
+        """
+        if k == 0:
+            i = (k + r) % n
+            j = (k + c) % n
+            return ("in", i, j)
+        kp = k - 1
+        if r <= n - 2 and c <= n - 2:
+            return ("cell", kp, r + 1, c + 1)  # its out port
+        if r == n - 1 and c <= n - 2:
+            # Row k-1's value rides the c chain to the bottom row.
+            return port(("cell", kp, n - 1, c + 1), "c")
+        if c == n - 1 and r <= n - 2:
+            # Column k-1's value rides the b chain to the right edge.
+            if with_delay_column:
+                return ("dly", kp, r + 1)
+            return port(("cell", kp, r + 1, n - 1), "b")
+        # Corner: x[k-1, k-1].
+        if with_delay_column:
+            return ("dly", kp, 0)
+        return port(("cell", kp, n - 1, 0), "c")
+
+    for k in range(n):
+        for r in range(n):
+            for c in range(n):
+                a = a_source(k, r, c)
+                b = port(("cell", k, r, c - 1), "b") if c > 0 else a
+                cc = port(("cell", k, r - 1, c), "c") if r > 0 else a
+                i = (k + r) % n
+                j = (k + c) % n
+                if r == 0:
+                    tag = "transmit-row"
+                elif c == 0:
+                    tag = "transmit-col"
+                elif i == j:
+                    tag = "superfluous"
+                else:
+                    tag = "compute"
+                dg.add_op(
+                    ("cell", k, r, c),
+                    "mac",
+                    {"a": a, "b": b, "c": cc},
+                    pos=(k, r, c),
+                    tag=tag,
+                    axes={"a": Axis.LEVEL, "b": Axis.HORIZONTAL, "c": Axis.VERTICAL},
+                )
+            if with_delay_column:
+                dg.add_delay(
+                    ("dly", k, r),
+                    port(("cell", k, r, n - 1), "b"),
+                    pos=(k, r, n),
+                    axis=Axis.HORIZONTAL,
+                    tag="delay",
+                )
+
+    # Outputs: read with the same stencil a hypothetical level n would use.
+    for i in range(n):
+        for j in range(n):
+            r, c = i, j  # local coordinates at level n: (i - n) mod n = i
+            kp = n - 1
+            if r <= n - 2 and c <= n - 2:
+                src: NodeId | PortRef = ("cell", kp, r + 1, c + 1)
+            elif r == n - 1 and c <= n - 2:
+                src = port(("cell", kp, n - 1, c + 1), "c")
+            elif c == n - 1 and r <= n - 2:
+                src = ("dly", kp, r + 1) if with_delay_column else port(
+                    ("cell", kp, r + 1, n - 1), "b"
+                )
+            else:
+                src = ("dly", kp, 0) if with_delay_column else port(
+                    ("cell", kp, n - 1, 0), "c"
+                )
+            dg.add_output(("out", i, j), src, pos=(n, i, j))
+    _attach_drawing(dg, n, flipped=True)
+    return dg
+
+
+def tc_unidirectional(n: int) -> DependenceGraph:
+    """Figs. 13/14: flipped (cyclically re-indexed) grids, no delay column.
+
+    Data flow is uni-directional (all intra-level chains run toward
+    increasing local coordinates), but the inter-level pattern is
+    irregular at strip boundaries (Fig. 15): right-edge consumers read a
+    *forwarding port* of their diagonal neighbour instead of an output,
+    and the corner reads across the whole strip — several distinct
+    communication stencils coexist.
+    """
+    return _grid_graph(n, with_delay_column=False, name=f"tc_unidirectional(n={n})")
+
+
+def tc_regular(n: int) -> DependenceGraph:
+    """Fig. 16: the regularized graph (delay column appended per level).
+
+    Every level is ``n x (n+1)``; all interior consumers share a single
+    communication stencil, which is what makes the diagonal grouping into
+    the Fig. 17 G-graph possible.  Total slot count is ``n^2 (n+1)``.
+    """
+    return _grid_graph(n, with_delay_column=True, name=f"tc_regular(n={n})")
+
+
+#: Stage name -> constructor, in pipeline order.
+TC_STAGES = {
+    "full": tc_full,
+    "pruned": tc_pruned,
+    "pipelined": tc_pipelined,
+    "unidirectional": tc_unidirectional,
+    "regular": tc_regular,
+}
+
+
+def tc_stage(stage: str, n: int) -> DependenceGraph:
+    """Construct the named pipeline stage for problem size ``n``."""
+    try:
+        ctor = TC_STAGES[stage]
+    except KeyError:
+        raise ValueError(
+            f"unknown stage {stage!r}; choose from {tuple(TC_STAGES)}"
+        ) from None
+    return ctor(n)
+
+
+# ----------------------------------------------------------------------
+# I/O helpers
+# ----------------------------------------------------------------------
+
+def make_inputs(a: np.ndarray, semiring: Semiring = BOOLEAN) -> dict[NodeId, Any]:
+    """Input environment for any TC stage from a matrix ``a``.
+
+    The diagonal is forced to the semiring's diagonal element (Warshall's
+    precondition).
+    """
+    m = semiring.matrix(a)
+    n = m.shape[0]
+    return {("in", i, j): m[i, j].item() for i in range(n) for j in range(n)}
+
+
+def read_output_matrix(
+    outputs: Mapping[NodeId, Any], n: int, semiring: Semiring = BOOLEAN
+) -> np.ndarray:
+    """Assemble the ``("out", i, j)`` values into a matrix."""
+    m = np.empty((n, n), dtype=semiring.dtype)
+    for i in range(n):
+        for j in range(n):
+            m[i, j] = outputs[("out", i, j)]
+    return m
+
+
+def run_graph(
+    dg: DependenceGraph, a: np.ndarray, semiring: Semiring = BOOLEAN
+) -> np.ndarray:
+    """Functionally evaluate a TC stage on matrix ``a``; return the closure."""
+    n = a.shape[0]
+    outs = evaluate(dg, make_inputs(a, semiring), semiring)
+    return read_output_matrix(outs, n, semiring)
+
+
+def node_tag_census(dg: DependenceGraph) -> dict[str, int]:
+    """Histogram of node tags (compute / transmit-* / superfluous / delay)."""
+    census: dict[str, int] = {}
+    for nid, d in dg.g.nodes(data=True):
+        tag = d.get("tag")
+        if tag is not None:
+            census[tag] = census.get(tag, 0) + 1
+    return census
+
+
+def _attach_drawing(dg: DependenceGraph, n: int, flipped: bool) -> None:
+    """Attach the paper's drawing embedding as the ``draw`` node attribute.
+
+    Levels are stacked vertically (strip ``k`` occupies drawing rows
+    ``[k*n, (k+1)*n)``).  For the flipped stages each strip is also
+    shifted one position to the right (``x = k + c``), which is how the
+    paper draws Figs. 14-16 — in that embedding every edge of the
+    regularized graph points down and/or right (uni-directional flow),
+    while the pre-flip stages mix both horizontal directions.
+    """
+    for nid, d in dg.g.nodes(data=True):
+        p = d.get("pos")
+        if p is None or len(p) != 3:
+            continue
+        k, a, b = p
+        d["draw"] = (k * n + a, k + b) if flipped else (k * n + a, b)
+
+
+def _check_n(n: int) -> None:
+    if n < 3:
+        raise ValueError(
+            f"transitive-closure graphs need n >= 3 (got n={n}); "
+            "below that every node is superfluous"
+        )

@@ -1,0 +1,140 @@
+"""Synthetic graph workloads for the transitive-closure arrays.
+
+The systems that motivated 1988 transitive-closure hardware — compiler
+data-flow analysis, database reachability, routing — used production
+graphs we cannot recover; these generators provide documented synthetic
+stand-ins with the structural features that matter to the arrays (the
+arrays are oblivious to sparsity — every workload costs the same cycles —
+but the *results* differ, which is what the examples and tests exercise):
+
+* :func:`ring_with_chords` — strongly-connected backbone plus shortcuts
+  (road networks; closure is dense);
+* :func:`layered_dag` — feed-forward layers (task graphs, data-flow
+  analysis; closure is block upper-triangular);
+* :func:`grid_maze` — 2-D lattice with walls (routing; closure reveals
+  connected regions);
+* :func:`random_tournament` — complete orientation (ranking problems;
+  closure collapses to strongly-connected condensations);
+* :func:`call_graph` — a module/function hierarchy with back edges
+  (compiler reachability).
+
+All return boolean adjacency matrices with a reflexive diagonal, ready
+for :func:`repro.core.partitioner.PartitionedImplementation.run`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "ring_with_chords",
+    "layered_dag",
+    "grid_maze",
+    "random_tournament",
+    "call_graph",
+    "WORKLOADS",
+]
+
+
+def _finish(a: np.ndarray) -> np.ndarray:
+    np.fill_diagonal(a, True)
+    return a
+
+
+def ring_with_chords(n: int, chords: int | None = None, seed: int = 0) -> np.ndarray:
+    """One-way ring plus ``chords`` random shortcuts (default ``n//2``)."""
+    if n < 2:
+        raise ValueError(f"need n >= 2, got {n}")
+    rng = np.random.default_rng(seed)
+    a = np.zeros((n, n), dtype=bool)
+    for i in range(n):
+        a[i, (i + 1) % n] = True
+    chords = n // 2 if chords is None else chords
+    for _ in range(chords):
+        u, v = rng.integers(0, n, 2)
+        if u != v:
+            a[u, v] = True
+    return _finish(a)
+
+
+def layered_dag(
+    layers: int, width: int, density: float = 0.5, seed: int = 0
+) -> np.ndarray:
+    """Feed-forward graph: ``layers`` layers of ``width`` nodes each.
+
+    Edges only go from layer ``l`` to ``l+1``; the closure is the layer
+    reachability relation (strictly upper block triangular plus diagonal).
+    """
+    if layers < 1 or width < 1:
+        raise ValueError("layers and width must be positive")
+    rng = np.random.default_rng(seed)
+    n = layers * width
+    a = np.zeros((n, n), dtype=bool)
+    for layer in range(layers - 1):
+        for u in range(width):
+            for v in range(width):
+                if rng.random() < density:
+                    a[layer * width + u, (layer + 1) * width + v] = True
+    return _finish(a)
+
+
+def grid_maze(rows: int, cols: int, wall_prob: float = 0.25, seed: int = 0) -> np.ndarray:
+    """2-D lattice with bidirectional corridors; some are walled off."""
+    if rows < 1 or cols < 1:
+        raise ValueError("grid dimensions must be positive")
+    rng = np.random.default_rng(seed)
+    n = rows * cols
+    a = np.zeros((n, n), dtype=bool)
+
+    def idx(r: int, c: int) -> int:
+        return r * cols + c
+
+    for r in range(rows):
+        for c in range(cols):
+            for dr, dc in ((0, 1), (1, 0)):
+                r2, c2 = r + dr, c + dc
+                if r2 < rows and c2 < cols and rng.random() >= wall_prob:
+                    a[idx(r, c), idx(r2, c2)] = True
+                    a[idx(r2, c2), idx(r, c)] = True
+    return _finish(a)
+
+
+def random_tournament(n: int, seed: int = 0) -> np.ndarray:
+    """Every pair connected in exactly one direction."""
+    if n < 1:
+        raise ValueError(f"need n >= 1, got {n}")
+    rng = np.random.default_rng(seed)
+    a = np.zeros((n, n), dtype=bool)
+    for i in range(n):
+        for j in range(i + 1, n):
+            if rng.random() < 0.5:
+                a[i, j] = True
+            else:
+                a[j, i] = True
+    return _finish(a)
+
+
+def call_graph(n: int, fanout: int = 2, back_edge_prob: float = 0.15, seed: int = 0) -> np.ndarray:
+    """A rooted call hierarchy (node i calls ~``fanout`` later nodes) with
+    occasional back edges (recursion / callbacks)."""
+    if n < 1:
+        raise ValueError(f"need n >= 1, got {n}")
+    rng = np.random.default_rng(seed)
+    a = np.zeros((n, n), dtype=bool)
+    for i in range(n - 1):
+        callees = rng.integers(i + 1, n, size=min(fanout, n - 1 - i))
+        for j in callees:
+            a[i, j] = True
+        if i > 0 and rng.random() < back_edge_prob:
+            a[i, int(rng.integers(0, i))] = True
+    return _finish(a)
+
+
+#: name -> zero-argument thunk producing a default-size instance.
+WORKLOADS = {
+    "ring_with_chords": lambda: ring_with_chords(12, seed=1),
+    "layered_dag": lambda: layered_dag(4, 3, seed=1),
+    "grid_maze": lambda: grid_maze(3, 4, seed=1),
+    "random_tournament": lambda: random_tournament(12, seed=1),
+    "call_graph": lambda: call_graph(12, seed=1),
+}

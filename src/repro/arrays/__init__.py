@@ -1,0 +1,1 @@
+"""Systolic-array models: topologies, execution plans, cycle simulator."""

@@ -1,0 +1,118 @@
+"""First-order hardware cost model for the candidate arrays.
+
+The paper's "simpler structure / easier implementation" arguments compare
+1988 VLSI designs.  This model counts the resources each design needs, at
+the granularity those arguments use:
+
+* **cells** and the **registers per cell** (three operand registers for
+  the ``mac`` datapath plus one forwarding register per pass-through
+  direction);
+* **inter-cell links** (each carries one word per cycle);
+* **external connections**: memory taps plus host ports;
+* **control store**: distinct per-cell contexts times cells, plus one
+  sequencer entry per distinct G-set shape (see
+  :mod:`repro.core.control`).
+
+The absolute numbers are not silicon estimates — they are the paper's own
+currency (counts of structural elements), so the linear/mesh/fixed
+comparisons can be printed side by side in the design-space benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.control import control_complexity
+from ..core.gsets import GSet, GSetPlan
+from .topology import ArrayTopology, fixed_grid_topology, linear_topology, mesh_topology
+
+__all__ = ["ArrayCost", "partitioned_array_cost", "fixed_array_cost"]
+
+#: Registers in one mac cell: a/b/c operand latches + result.
+_CELL_REGISTERS = 4
+
+
+@dataclass(frozen=True)
+class ArrayCost:
+    """Structural resource counts for one array design."""
+
+    name: str
+    cells: int
+    registers: int
+    links: int
+    memory_ports: int
+    host_ports: int
+    control_entries: int
+
+    @property
+    def total_connections(self) -> int:
+        """Everything that crosses a cell boundary (wiring complexity)."""
+        return self.links + self.memory_ports + self.host_ports
+
+    def row(self) -> dict:
+        """Flat dict for table printing."""
+        return {
+            "design": self.name,
+            "cells": self.cells,
+            "registers": self.registers,
+            "links": self.links,
+            "mem_ports": self.memory_ports,
+            "host_ports": self.host_ports,
+            "control": self.control_entries,
+            "connections": self.total_connections,
+        }
+
+
+def _link_count(topo: ArrayTopology) -> int:
+    if topo.geometry == "linear":
+        return topo.m - 1
+    count = 0
+    for cell in topo.cells:
+        for delta in topo.links:
+            nxt = (cell[0] + delta[0], cell[1] + delta[1])
+            if topo.has_cell(nxt):
+                count += 1
+    # Mesh links are bidirectional pairs in our census; count each wire once.
+    if topo.geometry == "mesh":
+        count //= 2
+    return count
+
+
+def partitioned_array_cost(plan: GSetPlan, order: Sequence[GSet]) -> ArrayCost:
+    """Cost of the linear (Fig. 18) or mesh (Fig. 19) partitioned array."""
+    if plan.geometry == "linear":
+        topo = linear_topology(plan.m)
+        host_ports = 1
+    else:
+        topo = mesh_topology(*plan.shape)
+        host_ports = plan.shape[1]  # the top edge takes host data
+    ctrl = control_complexity(plan, order)
+    control_entries = ctrl.set_shapes + sum(ctrl.per_cell.values())
+    return ArrayCost(
+        name=f"partitioned {plan.geometry} m={plan.m}",
+        cells=topo.m,
+        registers=_CELL_REGISTERS * topo.m,
+        links=_link_count(topo),
+        memory_ports=topo.memory_ports,
+        host_ports=host_ports,
+        control_entries=control_entries,
+    )
+
+
+def fixed_array_cost(rows: int, cols: int) -> ArrayCost:
+    """Cost of the Fig. 17 fixed-size array (one cell per G-node).
+
+    No external memories and no per-set control: one context per cell
+    (the array is a pure pipeline — "no control complexity").
+    """
+    topo = fixed_grid_topology(rows, cols)
+    return ArrayCost(
+        name=f"fixed {rows}x{cols}",
+        cells=topo.m,
+        registers=_CELL_REGISTERS * topo.m,
+        links=_link_count(topo),
+        memory_ports=0,
+        host_ports=cols,
+        control_entries=topo.m,
+    )

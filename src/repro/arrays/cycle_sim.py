@@ -1,0 +1,253 @@
+"""Cycle-level simulation of an execution plan.
+
+This is the substrate substituting for the paper's (paper-and-pencil) VLSI
+arrays: it executes every primitive node of a dependence graph at the cell
+and cycle its :class:`~repro.arrays.plan.ExecutionPlan` assigns, while
+enforcing the physical constraints a systolic implementation imposes:
+
+* one node per cell per cycle (checked at plan construction);
+* an operand produced at cycle ``t`` in a cell is usable from ``t+1`` in
+  the same cell or a linked neighbour;
+* any other transfer must round-trip through external memory (available
+  from ``t+2``) and is charged to the cut-and-pile memory traffic;
+* primary inputs arrive from the host; the simulator records each word's
+  *deadline* (one cycle before first use) and derives the host-bandwidth
+  demand curve of Fig. 21.
+
+The simulation also *computes* — the semiring values flow through the
+schedule — so the result matrix is checked against the software oracle,
+proving that the partitioned arrays really execute Warshall's algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Any, Hashable, Mapping
+
+import numpy as np
+
+from ..core.evaluate import OPCODE_SEMANTICS
+from ..core.graph import DependenceGraph, GraphError, NodeId, NodeKind
+from ..core.semiring import BOOLEAN, Semiring
+from .plan import ExecutionPlan
+
+__all__ = ["SimResult", "Violation", "simulate"]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One timing/locality violation found during simulation."""
+
+    node: NodeId
+    role: str
+    producer: NodeId
+    kind: str  # "timing" | "memory-timing"
+    slack: int
+
+    def __str__(self) -> str:  # noqa: D105
+        return (
+            f"{self.kind} violation at {self.node!r}.{self.role}: "
+            f"producer {self.producer!r} late by {-self.slack} cycle(s)"
+        )
+
+
+@dataclass
+class SimResult:
+    """Everything measured during one simulated execution."""
+
+    outputs: dict[NodeId, Any]
+    makespan: int
+    cells: int
+    busy: int
+    useful: int
+    memory_words: int
+    memory_reads: int
+    input_deadlines: dict[NodeId, int]
+    input_cells: set[Hashable]
+    #: input node -> cell of its earliest use (where the host must deliver)
+    input_cell_of: dict[NodeId, Hashable] = field(default_factory=dict)
+    violations: list[Violation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when the plan met every timing/locality constraint."""
+        return not self.violations
+
+    @property
+    def utilization(self) -> Fraction:
+        """Useful (compute) cell-cycles over total capacity."""
+        return Fraction(self.useful, self.cells * self.makespan)
+
+    @property
+    def occupancy(self) -> Fraction:
+        """Busy cell-cycles (incl. transmit/delay slots) over capacity."""
+        return Fraction(self.busy, self.cells * self.makespan)
+
+    def io_demand_curve(self) -> list[tuple[int, int]]:
+        """Cumulative host words needed by each deadline cycle.
+
+        Returns sorted ``(cycle, cumulative words)`` pairs; the host must
+        have delivered that many words by that cycle.
+        """
+        if not self.input_deadlines:
+            return []
+        counts: dict[int, int] = {}
+        for t in self.input_deadlines.values():
+            counts[t] = counts.get(t, 0) + 1
+        curve = []
+        total = 0
+        for t in sorted(counts):
+            total += counts[t]
+            curve.append((t, total))
+        return curve
+
+    def required_host_bandwidth(self, preload: int = 0) -> Fraction:
+        """Minimal constant host rate (words/cycle) meeting all deadlines.
+
+        ``max_t (cumulative(t) - preload) / t`` over the demand curve —
+        what the R-block chain of Fig. 21 must sustain, given that the
+        first ``preload`` words are loaded into the R memories before the
+        run starts (the paper loads the first vertical path's inputs while
+        the previous problem instance drains).
+        """
+        best = Fraction(0)
+        for t, cum in self.io_demand_curve():
+            if t > 0 and cum > preload:
+                best = max(best, Fraction(cum - preload, t))
+        return best
+
+    def average_host_bandwidth(self) -> Fraction:
+        """Total host words over the whole run (the aggregate D_IO)."""
+        if self.makespan <= 0:
+            return Fraction(0)
+        return Fraction(len(self.input_deadlines), self.makespan)
+
+    def output_matrix(self, n: int, semiring: Semiring = BOOLEAN) -> np.ndarray:
+        """Assemble ``("out", i, j)`` outputs into a matrix."""
+        m = np.empty((n, n), dtype=semiring.dtype)
+        for i in range(n):
+            for j in range(n):
+                m[i, j] = self.outputs[("out", i, j)]
+        return m
+
+
+def simulate(
+    plan: ExecutionPlan,
+    dg: DependenceGraph,
+    inputs: Mapping[NodeId, Any],
+    semiring: Semiring = BOOLEAN,
+    strict: bool = False,
+) -> SimResult:
+    """Execute ``dg`` under ``plan`` and measure everything.
+
+    Parameters
+    ----------
+    strict:
+        Raise on the first violation instead of collecting them.
+
+    Notes
+    -----
+    Every slot-occupying node of ``dg`` must be covered by the plan.
+    Output nodes are not fired (reading a result is free); constants are
+    resident in every cell (they are wired control, not data).
+    """
+    fires = plan.fires
+    topo_order = dg.topological_order()
+    node_data = dg.g.nodes  # one attribute-dict fetch per node, not many
+    values: dict[NodeId, dict[str, Any]] = {}
+    violations: list[Violation] = []
+    memory_refs: set[tuple] = set()
+    memory_reads = 0
+    input_deadlines: dict[NodeId, int] = {}
+    input_cells: set[Hashable] = set()
+    input_cell_of: dict[NodeId, Hashable] = {}
+    busy = 0
+    useful = 0
+
+    region_of = plan.region_of
+
+    def check_operand(nid: NodeId, role: str, ref: tuple, cell, t: int) -> None:
+        nonlocal memory_reads
+        src, _ = ref
+        src_kind = node_data[src]["kind"]
+        if src_kind is NodeKind.CONST:
+            return
+        if src_kind is NodeKind.INPUT:
+            deadline = t - 1
+            prev = input_deadlines.get(src)
+            if prev is None or deadline < prev:
+                input_deadlines[src] = deadline
+                input_cell_of[src] = cell
+            input_cells.add(cell)
+            return
+        pcell, pt = fires[src]
+        same_region = (
+            not region_of or region_of.get(src) == region_of.get(nid)
+        )
+        local = cell == pcell or plan.topology.is_neighbor(pcell, cell)
+        if same_region and local:
+            slack = t - (pt + 1)
+            kind = "timing"
+        else:
+            # Cut-and-pile: the value is parked in external memory between
+            # G-sets (or the cells are not linked) -- one write, one read.
+            memory_refs.add(ref)
+            memory_reads += 1
+            slack = t - (pt + 2)
+            kind = "memory-timing"
+        if slack < 0:
+            v = Violation(node=nid, role=role, producer=src, kind=kind, slack=slack)
+            if strict:
+                raise GraphError(str(v))
+            violations.append(v)
+
+    for nid in topo_order:
+        d = node_data[nid]
+        kind = d["kind"]
+        if kind is NodeKind.INPUT:
+            if nid not in inputs:
+                raise GraphError(f"no value supplied for input {nid!r}")
+            values[nid] = {"out": inputs[nid]}
+            continue
+        if kind is NodeKind.CONST:
+            values[nid] = {"out": d["value"]}
+            continue
+        operands = d["operands"]
+        if kind is NodeKind.OUTPUT:
+            (ref,) = operands.values()
+            values[nid] = {"out": values[ref[0]][ref[1]]}
+            continue
+        # Slot-occupying node: must be planned.
+        if nid not in fires:
+            raise GraphError(f"plan does not cover slot node {nid!r}")
+        cell, t = fires[nid]
+        busy += 1
+        if d.get("tag") == "compute":
+            useful += 1
+        for role, ref in operands.items():
+            check_operand(nid, role, ref, cell, t)
+        if kind is NodeKind.OP:
+            fn = OPCODE_SEMANTICS[d["opcode"]]
+            roles = {r: values[ref[0]][ref[1]] for r, ref in operands.items()}
+            table = dict(roles)
+            table["out"] = fn(semiring, **roles)
+            values[nid] = table
+        else:  # PASS / DELAY
+            (ref,) = operands.values()
+            values[nid] = {"out": values[ref[0]][ref[1]]}
+
+    outputs = {nid: values[nid]["out"] for nid in dg.outputs}
+    return SimResult(
+        outputs=outputs,
+        makespan=plan.makespan,
+        cells=plan.topology.m,
+        busy=busy,
+        useful=useful,
+        memory_words=len(memory_refs),
+        memory_reads=memory_reads,
+        input_deadlines=input_deadlines,
+        input_cells=input_cells,
+        input_cell_of=input_cell_of,
+        violations=violations,
+    )

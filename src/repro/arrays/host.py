@@ -1,0 +1,132 @@
+"""Host interface: the R-block chain of Fig. 21.
+
+When top-of-graph G-sets are not scheduled consecutively, the host can
+feed the array at a rate far below one word per cell per cycle — but only
+if computation is *decoupled* from data transfer.  The paper's structure
+(from refs. [18, 19]) is a chain of ``R`` blocks, one per array cell/
+column, each holding a register (the chain stage) and a small memory:
+words stream from the host through the registers, drop into the memory of
+their destination column, and wait there until the consuming G-set reads
+them.
+
+:func:`simulate_rblock_chain` plays that structure against the exact
+delivery deadlines measured by the cycle simulator: words are issued by
+the host in deadline order at a constant ``host_rate``; a word issued at
+``t`` reaches column ``d`` at ``t + d + 1`` (one register hop per
+column); it must arrive by its deadline.  The report says whether the
+rate suffices, how early the host must start (the preload the paper hides
+in the previous instance's drain), and the high-water mark of each R
+memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from math import ceil, floor
+from typing import Hashable, Mapping
+
+from .cycle_sim import SimResult
+
+__all__ = ["RBlockReport", "simulate_rblock_chain", "column_of_cell"]
+
+
+@dataclass(frozen=True)
+class RBlockReport:
+    """Outcome of streaming one run's inputs through the R-block chain."""
+
+    host_rate: Fraction
+    feasible: bool
+    start_time: int  # when the host must issue the first word (may be < 0)
+    words: int
+    max_r_memory: int  # high-water mark over all R memories
+    last_issue: int
+
+    @property
+    def preload_words(self) -> int:
+        """Words the host must issue before cycle 0."""
+        if self.start_time >= 0:
+            return 0
+        return min(self.words, ceil(-self.start_time * float(self.host_rate)))
+
+
+def column_of_cell(cell: Hashable) -> int:
+    """Chain column of a cell: its linear index or mesh column."""
+    if isinstance(cell, tuple):
+        return int(cell[-1])
+    return int(cell)
+
+
+def simulate_rblock_chain(
+    result: SimResult,
+    host_rate: Fraction | float = Fraction(1),
+    start_time: int | None = None,
+) -> RBlockReport:
+    """Stream the run's input words through the register chain.
+
+    Parameters
+    ----------
+    result:
+        A cycle-simulation result carrying per-word deadlines and
+        destination cells.
+    host_rate:
+        Words per cycle the host sustains (``<= 1``; the chain has one
+        register per stage).
+    start_time:
+        When the host begins issuing; default: the latest start that still
+        meets every deadline (reported, so callers can see the preload).
+    """
+    rate = Fraction(host_rate).limit_denominator(10**6)
+    if rate <= 0:
+        raise ValueError(f"host rate must be positive, got {rate}")
+    if rate > 1:
+        raise ValueError("the chain moves at most one word per cycle")
+    words = sorted(
+        (deadline, column_of_cell(result.input_cell_of[nid]), nid)
+        for nid, deadline in result.input_deadlines.items()
+    )
+    n_words = len(words)
+    if n_words == 0:
+        return RBlockReport(
+            host_rate=rate, feasible=True, start_time=0, words=0,
+            max_r_memory=0, last_issue=0,
+        )
+    # Issue k-th word (deadline order) at start + ceil(k / rate); it
+    # arrives at its column d at issue + d + 1.
+    if start_time is None:
+        start_time = min(
+            floor(deadline - (col + 1) - Fraction(k, 1) / rate)
+            for k, (deadline, col, _) in enumerate(words)
+        )
+    feasible = True
+    arrivals: list[tuple[int, int, int]] = []  # (arrive, deadline, col)
+    last_issue = start_time
+    for k, (deadline, col, _) in enumerate(words):
+        issue = start_time + ceil(Fraction(k) / rate)
+        arrive = issue + col + 1
+        last_issue = issue
+        if arrive > deadline:
+            feasible = False
+        arrivals.append((arrive, deadline, col))
+    # R-memory occupancy: a word sits in its column memory from arrival
+    # until its deadline (when the cell reads it).
+    events: dict[int, list[tuple[int, int]]] = {}
+    for arrive, deadline, col in arrivals:
+        evs = events.setdefault(col, [])
+        evs.append((arrive, +1))
+        evs.append((max(deadline, arrive) + 1, -1))
+    peak = 0
+    for evs in events.values():
+        evs.sort()
+        live = 0
+        for _, delta in evs:
+            live += delta
+            peak = max(peak, live)
+    return RBlockReport(
+        host_rate=rate,
+        feasible=feasible,
+        start_time=start_time,
+        words=n_words,
+        max_r_memory=peak,
+        last_issue=last_issue,
+    )

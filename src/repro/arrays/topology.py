@@ -1,0 +1,111 @@
+"""Array topologies: cells, links, and external-memory ports.
+
+The paper's target structures:
+
+* **linear array** (Fig. 18): ``m`` cells in a chain, one link between
+  neighbours, ``m+1`` connections to external memories;
+* **two-dimensional (mesh) array** (Fig. 19): ``sqrt(m) x sqrt(m)`` cells,
+  nearest-neighbour links, ``2 sqrt(m)`` memory connections;
+* **fixed-size array** (Fig. 17): one cell per G-node (``n x (n+1)``),
+  with the two G-edge links (right neighbour, and down-left neighbour for
+  the next level) — "a single communication path between cells".
+
+A topology answers one question for the simulator: can a value move from
+cell ``a`` to cell ``b`` in one hop?  Everything that cannot is routed
+through external memory (cut-and-pile traffic).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable
+
+__all__ = ["ArrayTopology", "linear_topology", "mesh_topology", "fixed_grid_topology"]
+
+Cell = Hashable
+
+
+@dataclass(frozen=True)
+class ArrayTopology:
+    """A set of cells plus the one-hop link relation.
+
+    ``links`` holds *directed* one-hop displacements for pair-of-tuple
+    cells, or ``None`` for the integer-indexed linear chain (where
+    neighbourhood is ``|a-b| == 1``).
+    """
+
+    name: str
+    geometry: str  # "linear" | "mesh" | "grid"
+    cells: tuple[Cell, ...]
+    links: frozenset[tuple[int, int]] | None
+    memory_ports: int
+    _cellset: frozenset = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:  # noqa: D105
+        object.__setattr__(self, "_cellset", frozenset(self.cells))
+
+    @property
+    def m(self) -> int:
+        """Number of cells."""
+        return len(self.cells)
+
+    def has_cell(self, cell: Cell) -> bool:
+        """True when ``cell`` exists in this array."""
+        return cell in self._cellset
+
+    def is_neighbor(self, a: Cell, b: Cell) -> bool:
+        """True when a value produced at ``a`` can reach ``b`` in one hop."""
+        if a == b:
+            return True
+        if self.geometry == "linear":
+            return abs(a - b) == 1
+        delta = (b[0] - a[0], b[1] - a[1])
+        return delta in self.links
+
+
+def linear_topology(m: int) -> ArrayTopology:
+    """Chain of ``m`` cells; ``m+1`` memory taps (Fig. 18)."""
+    if m < 1:
+        raise ValueError(f"need at least one cell, got m={m}")
+    return ArrayTopology(
+        name=f"linear({m})",
+        geometry="linear",
+        cells=tuple(range(m)),
+        links=None,
+        memory_ports=m + 1,
+    )
+
+
+def mesh_topology(rows: int, cols: int) -> ArrayTopology:
+    """``rows x cols`` mesh; ``rows + cols`` memory taps (``2 sqrt(m)``)."""
+    if rows < 1 or cols < 1:
+        raise ValueError(f"mesh needs positive dimensions, got {rows}x{cols}")
+    cells = tuple((r, c) for r in range(rows) for c in range(cols))
+    links = frozenset({(0, 1), (0, -1), (1, 0), (-1, 0)})
+    return ArrayTopology(
+        name=f"mesh({rows}x{cols})",
+        geometry="mesh",
+        cells=cells,
+        links=links,
+        memory_ports=rows + cols,
+    )
+
+
+def fixed_grid_topology(rows: int, cols: int) -> ArrayTopology:
+    """Fixed-size array: one cell per G-node of the Fig. 17 G-graph.
+
+    Links follow the G-edges: right neighbour ``(0, +1)`` within a level
+    and down-left ``(+1, -1)`` to the next level.  I/O enters at the top
+    row only, so memory taps are not needed — ``memory_ports`` counts the
+    host connections.
+    """
+    cells = tuple((r, c) for r in range(rows) for c in range(cols))
+    links = frozenset({(0, 1), (1, -1)})
+    return ArrayTopology(
+        name=f"fixed({rows}x{cols})",
+        geometry="grid",
+        cells=cells,
+        links=links,
+        memory_ports=cols,
+    )

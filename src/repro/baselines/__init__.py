@@ -1,0 +1,13 @@
+"""Comparator systems the paper argues against.
+
+* :mod:`repro.baselines.kung_fixed` — S.-Y. Kung's fixed-size transitive-
+  closure array (ref. [23]), with its load-then-reuse control;
+* :mod:`repro.baselines.nunez_torralba` — block-decomposition partitioning
+  of transitive closure into matrix-multiplication sub-algorithms
+  (ref. [22]).
+
+Both are behavioural models built from the descriptions quoted in the
+paper (the original systems were never released); both compute correct
+transitive closures and expose the control/overhead terms the paper's
+comparison turns on.
+"""

@@ -1,0 +1,106 @@
+"""Behavioural model of S.-Y. Kung's fixed-size transitive-closure array.
+
+Reference [23] (S.-Y. Kung, *VLSI Array Processors*, pp. 248-266) derives
+a two-dimensional systolic array for transitive closure by a mathematical
+(spiral re-indexing) approach.  The paper contrasts its own Fig. 17 array
+with it on three counts, all quoted from [23]:
+
+* Kung's array "requires that data be first loaded in the nodes and then
+  reused for a period of n cycles", so computation and data transfer do
+  **not** overlap: each pivot level costs a load phase plus a compute
+  phase;
+* "certain control is required in the systolic array" to switch between
+  those phases (extra control states per cell);
+* it uses more than one communication path between cells.
+
+This model executes the same pivot-level recurrence (so it computes the
+correct closure — verified against the oracle) while charging the
+load/reuse timing and control the quotes describe.  It exposes the same
+measures as :class:`repro.core.metrics.PerformanceReport` where they are
+comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+import numpy as np
+
+from ..core.semiring import BOOLEAN, Semiring
+
+__all__ = ["KungArrayModel", "run_kung_fixed"]
+
+
+@dataclass(frozen=True)
+class KungArrayModel:
+    """Timing/control model of the load-then-reuse fixed array."""
+
+    n: int
+    result: np.ndarray
+    cells: int
+    load_cycles: int
+    compute_cycles: int
+    control_states: int
+    comm_paths: int
+
+    @property
+    def total_cycles(self) -> int:
+        """Load + compute, phases not overlapped (the quoted restriction)."""
+        return self.load_cycles + self.compute_cycles
+
+    @property
+    def throughput(self) -> Fraction:
+        """Problem instances per cycle.
+
+        Successive instances cannot overlap the load of the next with the
+        compute of the previous (same registers), so the initiation
+        interval is the full load + compute period per pivot level:
+        ``2n`` cycles against the Fig. 17 array's ``n``.
+        """
+        return Fraction(1, 2 * self.n)
+
+    @property
+    def overhead(self) -> int:
+        """Cycles that are pure data transfer (the ``d_i`` of Sec. 4.1)."""
+        return self.load_cycles
+
+    def utilization(self) -> Fraction:
+        """Useful work over capacity at the pipelined initiation interval.
+
+        Even with level-pipelined instances, the 2n-cycle load+reuse
+        period bounds utilization near 1/2 — the cost of not overlapping
+        data transfer with computation (contrast: the Fig. 17 array's
+        ``(n-1)(n-2)/(n(n+1)) -> 1``).
+        """
+        useful = self.n * (self.n - 1) * (self.n - 2)
+        initiation = 2 * self.n
+        return Fraction(useful, self.cells * initiation)
+
+
+def run_kung_fixed(a: np.ndarray, semiring: Semiring = BOOLEAN) -> KungArrayModel:
+    """Run the behavioural model on adjacency matrix ``a``.
+
+    Per pivot level ``k``: ``n`` cycles to (re)load the pivot row/column
+    into the ``n x n`` cells, then ``n`` cycles of reuse while the level's
+    updates are computed.  The functional result is the exact Warshall
+    recurrence.
+    """
+    x = semiring.matrix(a)
+    n = x.shape[0]
+    load = compute = 0
+    for k in range(n):
+        load += n  # broadcast row k / column k into cell registers
+        col = x[:, k].copy()
+        row = x[k, :].copy()
+        x = semiring.add(x, semiring.mul(col[:, None], row[None, :]))
+        compute += n  # reuse period
+    return KungArrayModel(
+        n=n,
+        result=x,
+        cells=n * n,
+        load_cycles=load,
+        compute_cycles=compute,
+        control_states=2,  # load phase vs compute phase
+        comm_paths=2,  # row and column broadcast paths
+    )

@@ -1,0 +1,205 @@
+"""Command-line interface: explore the reproduction from a terminal.
+
+Examples::
+
+    python -m repro stages --n 6
+    python -m repro partition --n 12 --m 4 --geometry linear --simulate
+    python -m repro ggraph --algorithm lu --n 8
+    python -m repro schedule --n 12 --m 4 --policy vertical
+    python -m repro level --n 6 --k 2
+    python -m repro fixed --n 9
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree for ``python -m repro``."""
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Graph-based partitioning of matrix algorithms for "
+        "systolic arrays (Moreno & Lang, 1988) - reproduction toolkit",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    s = sub.add_parser("stages", help="property census of the Figs. 10-16 pipeline")
+    s.add_argument("--n", type=int, default=6, help="problem size")
+
+    s = sub.add_parser("partition", help="partition transitive closure onto an array")
+    s.add_argument("--n", type=int, default=12)
+    s.add_argument("--m", type=int, default=4, help="number of cells")
+    s.add_argument("--geometry", choices=("linear", "mesh"), default="linear")
+    s.add_argument("--policy", default="vertical")
+    s.add_argument("--packed", action="store_true",
+                   help="pack G-sets instead of the paper's skew alignment")
+    s.add_argument("--simulate", action="store_true",
+                   help="cycle-simulate on a random instance and verify")
+    s.add_argument("--seed", type=int, default=0)
+
+    s = sub.add_parser("ggraph", help="render a G-graph's computation times")
+    s.add_argument("--algorithm", choices=("tc", "lu", "faddeev", "givens"),
+                   default="tc")
+    s.add_argument("--n", type=int, default=8)
+
+    s = sub.add_parser("schedule", help="show the G-set schedule order")
+    s.add_argument("--n", type=int, default=12)
+    s.add_argument("--m", type=int, default=4)
+    s.add_argument("--geometry", choices=("linear", "mesh"), default="linear")
+    s.add_argument("--policy", default="vertical")
+
+    s = sub.add_parser("level", help="render one level of the Fig. 16 grid")
+    s.add_argument("--n", type=int, default=6)
+    s.add_argument("--k", type=int, default=0, help="level index")
+
+    s = sub.add_parser("fixed", help="simulate the Fig. 17 fixed-size array")
+    s.add_argument("--n", type=int, default=9)
+    s.add_argument("--seed", type=int, default=0)
+
+    s = sub.add_parser(
+        "reproduce",
+        help="regenerate an experiment table (see DESIGN.md's index)",
+    )
+    s.add_argument("exp", nargs="*",
+                   help="experiment ids (e.g. F18 T-EVAL); default: list them")
+    return p
+
+
+def _cmd_stages(args) -> int:
+    from .algorithms.transitive_closure import TC_STAGES
+    from .viz import render_stage_table
+
+    print(render_stage_table({k: f(args.n) for k, f in TC_STAGES.items()}))
+    return 0
+
+
+def _cmd_partition(args) -> int:
+    from .algorithms.warshall import random_adjacency, warshall
+    from .core.partitioner import partition_transitive_closure
+
+    impl = partition_transitive_closure(
+        n=args.n, m=args.m, geometry=args.geometry,
+        policy=args.policy, aligned=not args.packed,
+    )
+    print(f"G-graph: {impl.gg}")
+    for key, value in impl.report.row().items():
+        print(f"  {key:>12}: {value}")
+    if args.simulate:
+        a = random_adjacency(args.n, seed=args.seed)
+        res = impl.simulate(a)
+        ok = bool(np.array_equal(res.output_matrix(args.n), warshall(a)))
+        print(f"simulation: makespan={res.makespan} violations="
+              f"{len(res.violations)} correct={ok}")
+        if not (ok and res.ok):
+            return 1
+    return 0
+
+
+def _cmd_ggraph(args) -> int:
+    from .viz import render_ggraph_times
+
+    if args.algorithm == "tc":
+        from .algorithms.transitive_closure import tc_regular
+        from .core.ggraph import GGraph, group_by_columns
+
+        gg = GGraph(tc_regular(args.n), group_by_columns)
+    elif args.algorithm == "lu":
+        from .algorithms.lu import lu_ggraph
+
+        gg = lu_ggraph(args.n)
+    elif args.algorithm == "faddeev":
+        from .algorithms.faddeev import faddeev_ggraph
+
+        gg = faddeev_ggraph(args.n)
+    else:
+        from .algorithms.givens import givens_ggraph
+
+        gg = givens_ggraph(args.n)
+    print(gg)
+    print(render_ggraph_times(gg))
+    return 0
+
+
+def _cmd_schedule(args) -> int:
+    from .core.partitioner import partition_transitive_closure
+    from .viz import render_schedule
+
+    impl = partition_transitive_closure(
+        n=args.n, m=args.m, geometry=args.geometry, policy=args.policy
+    )
+    print(render_schedule(impl.order))
+    return 0
+
+
+def _cmd_level(args) -> int:
+    from .algorithms.transitive_closure import tc_regular
+    from .viz import render_level_grid
+
+    if not (0 <= args.k < args.n):
+        print(f"level k must be in [0, {args.n})", file=sys.stderr)
+        return 2
+    print(render_level_grid(tc_regular(args.n), args.k, args.n))
+    return 0
+
+
+def _cmd_fixed(args) -> int:
+    from .algorithms.transitive_closure import make_inputs, tc_regular
+    from .algorithms.warshall import random_adjacency, warshall
+    from .core.ggraph import GGraph, group_by_columns
+    from .arrays.cycle_sim import simulate
+    from .arrays.plan import fixed_array_plan, min_initiation_interval
+
+    dg = tc_regular(args.n)
+    gg = GGraph(dg, group_by_columns)
+    ep = fixed_array_plan(gg)
+    a = random_adjacency(args.n, seed=args.seed)
+    res = simulate(ep, dg, make_inputs(a))
+    ok = bool(np.array_equal(res.output_matrix(args.n), warshall(a)))
+    print(f"cells={len(gg)} II={min_initiation_interval(ep)} "
+          f"makespan={res.makespan} correct={ok}")
+    return 0 if ok else 1
+
+
+def _cmd_reproduce(args) -> int:
+    from .experiments import EXPERIMENTS
+    from .viz import format_table
+
+    if not args.exp:
+        print("available experiments:")
+        for exp in EXPERIMENTS.values():
+            print(f"  {exp.exp_id:>8}  {exp.title}")
+        return 0
+    unknown = [e for e in args.exp if e not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment id(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    for eid in args.exp:
+        exp = EXPERIMENTS[eid]
+        print(f"== {exp.exp_id}: {exp.title} ==")
+        print(format_table(exp.run()))
+        print()
+    return 0
+
+
+_COMMANDS = {
+    "stages": _cmd_stages,
+    "partition": _cmd_partition,
+    "ggraph": _cmd_ggraph,
+    "schedule": _cmd_schedule,
+    "level": _cmd_level,
+    "fixed": _cmd_fixed,
+    "reproduce": _cmd_reproduce,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point for ``python -m repro``."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)

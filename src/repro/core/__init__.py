@@ -1,0 +1,1 @@
+"""Core of the reproduction: the graph-based partitioning methodology."""

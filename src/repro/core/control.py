@@ -1,0 +1,112 @@
+"""Control-complexity census (the paper's "simple control" arguments).
+
+The paper repeatedly argues simplicity qualitatively: the Fig. 17 array
+has "no control complexity" versus Kung's load/reuse switching; the
+linear partitioned array's implementation "is easier" than the mesh's;
+the Núñez-Torralba chaining "requires rather complex control".  This
+module makes those claims measurable.
+
+A cell's *control context* in one G-set is the tuple of decisions its
+controller must make there: is the cell active; does each operand come
+from a neighbour or from external memory (set-boundary input); does each
+forwarded output go to a neighbour or to memory.  The number of distinct
+contexts a cell cycles through over the whole schedule — and the number
+of distinct contexts array-wide — is the size of the control store an
+implementation needs.
+
+Reproduction note (an honest finding): by these raw counts the two
+geometries are comparable — the linear array's skew-aligned blocks
+produce *more* distinct ragged shapes (one lead-in offset per ``k mod m``
+residue) while each cell needs only ~4 contexts, and the mesh's
+triangular boundary blocks repeat a few shapes.  The paper's simplicity
+argument for linear arrays is therefore best read as dimensional (one
+communication direction, one schedule axis, bypass-friendly chains — see
+:mod:`repro.arrays.faults`), and its *measurable* advantages are the
+Fig. 22 time-mixing loss and fault retention, not configuration-table
+size.  The metric is kept because it does separate both of our schemes
+from the baselines (Kung's global load/compute mode switch; the
+Núñez-Torralba per-kernel reconfiguration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+from .gsets import GSet, GSetPlan
+
+__all__ = ["ControlReport", "control_complexity"]
+
+
+@dataclass(frozen=True)
+class ControlReport:
+    """Distinct control contexts per cell and array-wide.
+
+    ``set_shapes`` counts the distinct active-cell patterns the array
+    controller must be able to issue — the length of its configuration
+    table.  A rectangular scheme cycles through a few full/tail shapes;
+    the mesh's skew-induced triangular boundary blocks (Fig. 19a) each
+    add one.
+    """
+
+    per_cell: dict[Hashable, int]
+    distinct_total: int
+    geometry: str
+    set_shapes: int
+
+    @property
+    def max_per_cell(self) -> int:
+        """Largest control store any single cell needs."""
+        return max(self.per_cell.values(), default=0)
+
+    @property
+    def mean_per_cell(self) -> float:
+        """Average control-store size."""
+        if not self.per_cell:
+            return 0.0
+        return sum(self.per_cell.values()) / len(self.per_cell)
+
+
+def _neighbour_offsets(geometry: str):
+    if geometry == "linear":
+        return ((-1,), (1,))
+    return ((-1, 0), (1, 0), (0, -1), (0, 1))
+
+
+def _shift(cell, off):
+    if isinstance(cell, tuple):
+        return tuple(c + o for c, o in zip(cell, off))
+    return cell + off[0]
+
+
+def control_complexity(plan: GSetPlan, order: Sequence[GSet]) -> ControlReport:
+    """Count the distinct per-set control contexts of every cell.
+
+    A context records, for one G-set, which of the cell's neighbours are
+    active alongside it (all other operand/result traffic is memory
+    traffic and needs memory-port steering instead of neighbour links).
+    Idle participation is one further context.
+    """
+    offsets = _neighbour_offsets(plan.geometry)
+    contexts: dict[Hashable, set] = {}
+    shapes: set[frozenset] = set()
+    all_cells = set()
+    for s in plan.gsets:
+        all_cells.update(s.cells)
+    for s in order:
+        active = set(s.cells)
+        shapes.add(frozenset(active))
+        for cell in all_cells:
+            if cell in active:
+                ctx = tuple(_shift(cell, off) in active for off in offsets)
+            else:
+                ctx = "idle"
+            contexts.setdefault(cell, set()).add(ctx)
+    per_cell = {cell: len(ctxs) for cell, ctxs in contexts.items()}
+    distinct_total = len({frozenset(ctxs) for ctxs in contexts.values()})
+    return ControlReport(
+        per_cell=per_cell,
+        distinct_total=distinct_total,
+        geometry=plan.geometry,
+        set_shapes=len(shapes),
+    )

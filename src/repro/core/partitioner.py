@@ -1,0 +1,144 @@
+"""The three-step partitioning procedure as one façade (Sec. 2).
+
+:func:`partition` runs the full methodology on any grouped dependence
+graph; :func:`partition_transitive_closure` is the turnkey entry point for
+the paper's application — from a problem size and an array description to
+a verified, cycle-simulated partitioned implementation.
+
+    >>> from repro import partition_transitive_closure
+    >>> impl = partition_transitive_closure(n=12, m=4, geometry="linear")
+    >>> impl.report.row()["U"]                      # doctest: +SKIP
+    0.673...
+    >>> import numpy as np
+    >>> from repro.algorithms.warshall import random_adjacency, warshall
+    >>> a = random_adjacency(12, seed=0)
+    >>> bool(np.array_equal(impl.run(a), warshall(a)))
+    True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..algorithms import transitive_closure as tc
+from .ggraph import GGraph, GNodeId, group_by_columns
+from .graph import DependenceGraph, NodeId
+from .gsets import (
+    GSet,
+    GSetPlan,
+    make_linear_gsets,
+    make_mesh_gsets,
+    schedule_gsets,
+    verify_schedule,
+)
+from .metrics import PerformanceReport, evaluate_schedule
+from .semiring import BOOLEAN, Semiring
+
+__all__ = ["PartitionedImplementation", "partition", "partition_transitive_closure"]
+
+
+@dataclass
+class PartitionedImplementation:
+    """Everything the methodology produces for one (algorithm, array) pair."""
+
+    dg: DependenceGraph
+    gg: GGraph
+    plan: GSetPlan
+    order: list[GSet]
+    report: PerformanceReport
+    semiring: Semiring = BOOLEAN
+
+    _exec_plan = None
+
+    @property
+    def exec_plan(self):
+        """The cycle-level execution plan (built lazily)."""
+        if self._exec_plan is None:
+            from ..arrays.plan import partitioned_plan
+
+            self._exec_plan = partitioned_plan(self.plan, self.order)
+        return self._exec_plan
+
+    def run(self, a: np.ndarray, strict: bool = True) -> np.ndarray:
+        """Cycle-simulate the implementation on an input matrix.
+
+        Only available for graphs using the transitive-closure I/O naming
+        (``("in", i, j)`` / ``("out", i, j)``); raises on violations when
+        ``strict``.
+        """
+        from ..arrays.cycle_sim import simulate
+
+        n = a.shape[0]
+        res = simulate(
+            self.exec_plan, self.dg, tc.make_inputs(a, self.semiring), self.semiring,
+            strict=strict,
+        )
+        return res.output_matrix(n, self.semiring)
+
+    def simulate(self, a: np.ndarray):
+        """Full cycle simulation; returns the raw :class:`SimResult`."""
+        from ..arrays.cycle_sim import simulate
+
+        return simulate(
+            self.exec_plan, self.dg, tc.make_inputs(a, self.semiring), self.semiring
+        )
+
+
+def partition(
+    dg: DependenceGraph,
+    grouping: Callable[[DependenceGraph, NodeId], GNodeId | None],
+    m: int,
+    geometry: str = "linear",
+    policy: str = "vertical",
+    aligned: bool = True,
+    mesh_shape: tuple[int, int] | None = None,
+    semiring: Semiring = BOOLEAN,
+) -> PartitionedImplementation:
+    """Run steps 2-3 of the procedure on an already-transformed graph.
+
+    (Step 1 — removing broadcasts, bi-directional flow and irregularity —
+    is the responsibility of the algorithm front-end or of
+    :mod:`repro.core.transform`.)
+    """
+    gg = GGraph(dg, grouping)
+    if geometry == "linear":
+        plan = make_linear_gsets(gg, m, aligned=aligned)
+    elif geometry == "mesh":
+        plan = make_mesh_gsets(gg, m, shape=mesh_shape)
+    else:
+        raise ValueError(f"unknown geometry {geometry!r}")
+    order = schedule_gsets(plan, policy)
+    verify_schedule(plan, order)
+    report = evaluate_schedule(plan, order)
+    return PartitionedImplementation(
+        dg=dg, gg=gg, plan=plan, order=order, report=report, semiring=semiring
+    )
+
+
+def partition_transitive_closure(
+    n: int,
+    m: int,
+    geometry: str = "linear",
+    policy: str = "vertical",
+    aligned: bool = True,
+    semiring: Semiring = BOOLEAN,
+) -> PartitionedImplementation:
+    """Turnkey partitioned transitive closure (the paper's Sec. 3).
+
+    Builds the regularized graph (Fig. 16), groups its diagonal paths into
+    the Fig. 17 G-graph, selects and schedules G-sets for the requested
+    array, and returns the implementation with its Sec. 4 report.
+    """
+    dg = tc.tc_regular(n)
+    return partition(
+        dg,
+        group_by_columns,
+        m,
+        geometry=geometry,
+        policy=policy,
+        aligned=aligned,
+        semiring=semiring,
+    )

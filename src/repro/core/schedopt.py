@@ -1,0 +1,129 @@
+"""Memory-aware G-set scheduling (an optimization beyond the paper).
+
+The paper fixes the vertical-path policy and never asks how large the
+external memories must be.  Cut-and-pile capacity is governed by the
+schedule: a value sits in memory from the end of its producing G-set to
+the end of its last consuming G-set, so issue order directly shapes the
+pool's high-water mark.
+
+:func:`schedule_gsets_memory_aware` is a greedy list scheduler over the
+same dependence DAG that, among ready G-sets, issues the one with the
+best immediate live-memory delta (words freed by completing last reads,
+minus words newly written), tie-broken by the vertical-path key.  It
+keeps every paper property that matters (legality, zero stalls, same
+total time — set times don't change) while cutting the memory high-water
+mark; the ablation benchmark quantifies the saving against the three
+fixed policies.
+
+:func:`memory_highwater` computes the exact pool occupancy of any
+schedule at G-set granularity (it matches the cycle simulator's census
+at the boundaries where both are defined).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Sequence
+
+from .gsets import GSet, GSetPlan, SCHEDULE_POLICIES, gset_dependences
+
+__all__ = ["memory_highwater", "schedule_gsets_memory_aware"]
+
+
+def _edge_words(plan: GSetPlan) -> tuple[dict, dict, dict]:
+    """Per-set write words, and per-(producer set, consumer set) words.
+
+    Returns ``(writes[sid], flows[(su, sv)], consumers[su])`` where
+    ``writes[sid]`` is the number of distinct values set ``sid`` sends to
+    *other* sets, ``flows`` the per-pair word counts, and
+    ``consumers[su]`` the set ids reading from ``su``.
+    """
+    set_of = plan.set_of
+    gg = plan.gg
+    dg = gg.dg
+    flows: dict[tuple, set] = {}
+    for nid in dg.g.nodes:
+        gdst = gg.node_of.get(nid)
+        if gdst is None:
+            continue
+        sv = set_of[gdst]
+        for ref in dg.operands(nid).values():
+            gsrc = gg.node_of.get(ref[0])
+            if gsrc is None:
+                continue
+            su = set_of[gsrc]
+            if su != sv:
+                flows.setdefault((su, sv), set()).add(ref)
+    writes: dict[tuple, int] = {}
+    consumers: dict[tuple, set] = {}
+    flow_counts: dict[tuple, int] = {}
+    for (su, sv), refs in flows.items():
+        flow_counts[(su, sv)] = len(refs)
+        writes[su] = writes.get(su, 0) + len(refs)
+        consumers.setdefault(su, set()).add(sv)
+    return writes, flow_counts, consumers
+
+
+def memory_highwater(plan: GSetPlan, order: Sequence[GSet]) -> int:
+    """Peak external-memory words over a G-set schedule.
+
+    A producer set's outgoing words enter the pool when it finishes and
+    leave when its *last* consumer in the order finishes (conservative:
+    per-producer granularity, matching one parked buffer per set).
+    """
+    writes, flow_counts, consumers = _edge_words(plan)
+    position = {s.sid: idx for idx, s in enumerate(order)}
+    live_until: dict[tuple, int] = {}
+    for su, readers in consumers.items():
+        live_until[su] = max(position[sv] for sv in readers)
+    # Pre-index releases by position for a linear sweep.
+    release_at: dict[int, list[tuple]] = {}
+    for su, until in live_until.items():
+        release_at.setdefault(until, []).append(su)
+    level = peak = 0
+    for idx, s in enumerate(order):
+        level += writes.get(s.sid, 0)
+        peak = max(peak, level)
+        for su in release_at.get(idx, ()):  # last reader just completed
+            level -= writes.get(su, 0)
+    return peak
+
+
+def schedule_gsets_memory_aware(
+    plan: GSetPlan, tie_break: str = "vertical"
+) -> list[GSet]:
+    """Greedy low-memory legal schedule (see module docstring)."""
+    writes, flow_counts, consumers = _edge_words(plan)
+    dag = gset_dependences(plan)
+    by_sid = {s.sid: s for s in plan.gsets}
+    indeg = {sid: dag.in_degree(sid) for sid in dag.nodes}
+    tb = SCHEDULE_POLICIES[tie_break]
+
+    # remaining reads per producer set: when it hits zero, its words free.
+    pending_reads = {su: len(readers) for su, readers in consumers.items()}
+    producers_of: dict[tuple, list] = {}
+    for (su, sv), _ in flow_counts.items():
+        producers_of.setdefault(sv, []).append(su)
+
+    def delta(sid: tuple) -> int:
+        freed = 0
+        for su in producers_of.get(sid, []):
+            if pending_reads.get(su, 0) == 1:
+                freed += writes.get(su, 0)
+        return writes.get(sid, 0) - freed
+
+    ready = {sid for sid, d in indeg.items() if d == 0}
+    order: list[GSet] = []
+    while ready:
+        sid = min(ready, key=lambda s: (delta(s), tb(s)))
+        ready.remove(sid)
+        order.append(by_sid[sid])
+        for su in producers_of.get(sid, []):
+            pending_reads[su] -= 1
+        for succ in dag.successors(sid):
+            indeg[succ] -= 1
+            if indeg[succ] == 0:
+                ready.add(succ)
+    if len(order) != len(plan.gsets):
+        raise RuntimeError("memory-aware scheduler failed to issue every set")
+    return order

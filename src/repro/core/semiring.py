@@ -1,0 +1,237 @@
+"""Algebraic structures underlying the matrix recurrences.
+
+Warshall's transitive-closure recurrence
+
+    x[i,j] <- x[i,j] (+) ( x[i,k] (x) x[k,j] )
+
+is an instance of the generic *closed idempotent semiring* iteration; the
+paper instantiates it with boolean OR / AND.  We keep the algebra abstract so
+that the very same dependence graphs and arrays compute:
+
+* ``BOOLEAN``   -- transitive closure (the paper's application);
+* ``MIN_PLUS``  -- all-pairs shortest paths (Floyd--Warshall), the natural
+  extension the 1988 hardware community also targeted;
+* ``MAX_MIN``   -- maximum-capacity (bottleneck) paths;
+* ``COUNTING``  -- path counting over the natural numbers (non-idempotent;
+  useful as a *negative* example: superfluous-node pruning is only valid on
+  semirings satisfying the absorption laws, see
+  :func:`Semiring.supports_superfluous_pruning`).
+
+The superfluous-node argument of the paper (Section 3.1) requires
+
+    a (+) a == a                      (idempotent addition), and
+    a (x) one == a                    (diagonal elements are the (x)-identity)
+
+so that when one operand of ``(x)`` is a diagonal element the whole update
+collapses to the previous value.  Each semiring records whether it satisfies
+these laws.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+__all__ = [
+    "Semiring",
+    "BOOLEAN",
+    "MIN_PLUS",
+    "MAX_MIN",
+    "COUNTING",
+    "REAL",
+    "SEMIRINGS",
+    "closure_reference",
+]
+
+
+@dataclass(frozen=True)
+class Semiring:
+    """A semiring ``(S, (+), (x), zero, one)`` with numpy-vectorised ops.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier (also the registry key in
+        :data:`SEMIRINGS`).
+    add / mul:
+        Scalar (and numpy-broadcastable) binary operations implementing
+        ``(+)`` and ``(x)``.
+    zero / one:
+        The additive and multiplicative identities.
+    idempotent_add:
+        Whether ``a (+) a == a`` holds; required for the paper's
+        superfluous-node elimination.
+    diagonal:
+        The value carried by diagonal elements of the closure input
+        (``1`` for boolean adjacency, ``0`` distance for min-plus).  The
+        pruning argument requires ``diagonal == one``.
+    dtype:
+        Preferred numpy dtype for dense matrices over this semiring.
+    """
+
+    name: str
+    add: Callable[[Any, Any], Any]
+    mul: Callable[[Any, Any], Any]
+    zero: Any
+    one: Any
+    idempotent_add: bool
+    dtype: Any
+    diagonal: Any = field(default=None)
+
+    def __post_init__(self) -> None:  # noqa: D105
+        if self.diagonal is None:
+            object.__setattr__(self, "diagonal", self.one)
+
+    # ------------------------------------------------------------------
+    # Core algebra helpers
+    # ------------------------------------------------------------------
+    def mac(self, a: Any, b: Any, c: Any) -> Any:
+        """The systolic primitive ``a (+) (b (x) c)`` (one graph node)."""
+        return self.add(a, self.mul(b, c))
+
+    def supports_superfluous_pruning(self) -> bool:
+        """True when Fig. 11's superfluous-node elimination is sound.
+
+        Requires idempotent addition and the diagonal to be the
+        ``(x)``-identity, so ``x (+) (x (x) one) == x``.
+        """
+        return bool(self.idempotent_add) and self.diagonal == self.one
+
+    # ------------------------------------------------------------------
+    # Dense-matrix conveniences (used by reference implementations)
+    # ------------------------------------------------------------------
+    def matrix(self, a: np.ndarray) -> np.ndarray:
+        """Copy ``a`` into this semiring's dtype with the diagonal forced.
+
+        Warshall's formulation assumes ``a[i,i]`` carries
+        :attr:`diagonal` (a node is always adjacent to itself).
+        """
+        m = np.array(a, dtype=self.dtype, copy=True)
+        if m.ndim != 2 or m.shape[0] != m.shape[1]:
+            raise ValueError(f"expected a square matrix, got shape {m.shape}")
+        np.fill_diagonal(m, self.diagonal)
+        return m
+
+    def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Semiring matrix product ``C[i,j] = (+)_k a[i,k] (x) b[k,j]``."""
+        a = np.asarray(a, dtype=self.dtype)
+        b = np.asarray(b, dtype=self.dtype)
+        n, k1 = a.shape
+        k2, p = b.shape
+        if k1 != k2:
+            raise ValueError(f"shape mismatch {a.shape} @ {b.shape}")
+        # (n, k, 1) x (1, k, p) -> reduce over k with the semiring add.
+        prod = self.mul(a[:, :, None], b[None, :, :])
+        out = np.full((n, p), self.zero, dtype=self.dtype)
+        for k in range(k1):
+            out = self.add(out, prod[:, k, :])
+        return out
+
+    def random_matrix(
+        self, n: int, rng: np.random.Generator, density: float = 0.4
+    ) -> np.ndarray:
+        """A random ``n x n`` input matrix suitable for closure testing."""
+        mask = rng.random((n, n)) < density
+        if self.name == "boolean":
+            m = mask.astype(self.dtype)
+        elif self.name == "min_plus":
+            w = rng.integers(1, 10, size=(n, n)).astype(self.dtype)
+            m = np.where(mask, w, self.zero)
+        elif self.name == "max_min":
+            w = rng.integers(1, 10, size=(n, n)).astype(self.dtype)
+            m = np.where(mask, w, self.zero)
+        else:  # counting and friends
+            m = mask.astype(self.dtype)
+        np.fill_diagonal(m, self.diagonal)
+        return m
+
+
+def _bool_or(a: Any, b: Any) -> Any:
+    return a | b
+
+
+def _bool_and(a: Any, b: Any) -> Any:
+    return a & b
+
+
+BOOLEAN = Semiring(
+    name="boolean",
+    add=_bool_or,
+    mul=_bool_and,
+    zero=False,
+    one=True,
+    idempotent_add=True,
+    dtype=np.bool_,
+)
+
+_INF = np.inf
+
+MIN_PLUS = Semiring(
+    name="min_plus",
+    add=np.minimum,
+    mul=lambda a, b: a + b,
+    zero=_INF,
+    one=0.0,
+    idempotent_add=True,
+    dtype=np.float64,
+)
+
+MAX_MIN = Semiring(
+    name="max_min",
+    add=np.maximum,
+    mul=np.minimum,
+    zero=0.0,
+    one=_INF,
+    idempotent_add=True,
+    dtype=np.float64,
+)
+
+COUNTING = Semiring(
+    name="counting",
+    add=lambda a, b: a + b,
+    mul=lambda a, b: a * b,
+    zero=0,
+    one=1,
+    idempotent_add=False,
+    dtype=np.int64,
+)
+
+#: Ordinary (+, *) arithmetic over floats — not a closure semiring, but it
+#: lets ``mac`` nodes express plain multiply-accumulate (matrix product).
+REAL = Semiring(
+    name="real",
+    add=lambda a, b: a + b,
+    mul=lambda a, b: a * b,
+    zero=0.0,
+    one=1.0,
+    idempotent_add=False,
+    dtype=np.float64,
+)
+
+SEMIRINGS: dict[str, Semiring] = {
+    s.name: s for s in (BOOLEAN, MIN_PLUS, MAX_MIN, COUNTING, REAL)
+}
+
+
+def closure_reference(a: np.ndarray, semiring: Semiring = BOOLEAN) -> np.ndarray:
+    """Plain-Python Warshall/Floyd closure, the oracle for everything else.
+
+    Implements exactly the triple loop of Section 3.1:
+
+        for k: for i: for j:  x[i,j] = x[i,j] (+) (x[i,k] (x) x[k,j])
+
+    with the diagonal preset to :attr:`Semiring.diagonal`.
+    """
+    x = semiring.matrix(a)
+    n = x.shape[0]
+    for k in range(n):
+        # Vectorised over (i, j); x[:, k] and x[k, :] are frozen first,
+        # which matches the k-1 superscripts of the recurrence (row k and
+        # column k do not change during step k on idempotent semirings,
+        # and freezing them keeps non-idempotent semirings well-defined).
+        col = x[:, k].copy()
+        row = x[k, :].copy()
+        x = semiring.add(x, semiring.mul(col[:, None], row[None, :]))
+    return x

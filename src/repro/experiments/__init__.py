@@ -1,0 +1,76 @@
+"""The experiment registry: every figure/table as an importable function.
+
+Each experiment builds the rows of one reproduction table (see DESIGN.md's
+index and EXPERIMENTS.md for paper-vs-measured).  The functions are pure
+library code — the pytest benchmarks wrap them with the shape assertions
+and persistence, and ``python -m repro reproduce`` prints them directly.
+
+    >>> from repro.experiments import EXPERIMENTS
+    >>> rows = EXPERIMENTS["F18"].run()          # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from . import ablations, arrays, pipeline, schemes, tradeoffs
+
+__all__ = ["Experiment", "EXPERIMENTS", "run_experiment"]
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One reproducible experiment: id, title, and a row builder."""
+
+    exp_id: str
+    title: str
+    build: Callable[[], list[dict]]
+
+    def run(self) -> list[dict]:
+        """Build the reproduction table rows with default parameters."""
+        return self.build()
+
+
+def _registry() -> dict[str, Experiment]:
+    entries = [
+        ("F01", "coalescing (LSGP) per-cell storage vs cut-and-pile",
+         schemes.coalescing_storage),
+        ("F02", "cut-and-pile (LPGS) execution census", schemes.cut_and_pile_census),
+        ("F03", "band decomposition of dense matmul", schemes.band_decomposition),
+        ("F04", "broadcast removal: max fan-out O(n) -> 1", pipeline.transform_census),
+        ("F05", "grouping alternatives (Fig. 6)", pipeline.grouping_census),
+        ("F07", "G-set selection: per-set uniformity suffices", pipeline.gset_census),
+        ("F10-F11", "FPDG size and superfluous-node pruning", pipeline.count_census),
+        ("F12-F16", "transformation pipeline property census", pipeline.stage_census),
+        ("F17", "fixed-size arrays: ours vs Kung [23]; linear collapse",
+         arrays.fixed_array_census),
+        ("F18", "linear partitioned array vs Sec. 4.2 formulas", arrays.linear_sweep),
+        ("F19", "2-D partitioned array vs Sec. 4.2", arrays.mesh_sweep),
+        ("F20", "G-set scheduling policies", arrays.schedule_census),
+        ("F21", "host bandwidth m/n with the R-block chain", arrays.io_census),
+        ("F22", "varying G-node times: linear vs 2-D", tradeoffs.varying_time_census),
+        ("T-EVAL", "Sec. 4.2 trade-off table, linear vs mesh",
+         tradeoffs.tradeoff_sweep),
+        ("T-BASE", "vs Núñez-Torralba block partitioning", tradeoffs.baseline_sweep),
+        ("T-FT", "throughput retention under cell failures", tradeoffs.fault_sweep),
+        ("A-POL", "schedule-policy ablation: host bandwidth vs memory",
+         ablations.policy_ablation),
+        ("A-GRP", "G-node granularity ablation (Fig. 9)",
+         ablations.grouping_ablation),
+        ("A-ALN", "aligned vs packed linear blocks", ablations.alignment_ablation),
+        ("A-CHAIN", "fixed array: chained instances", ablations.chained_census),
+        ("A-EXT", "one array, three path problems", ablations.semiring_sweep),
+        ("A-COST", "structural cost per design", ablations.cost_census),
+        ("A-HYB", "hybrid cut-and-pile + coalescing spectrum",
+         ablations.hybrid_census),
+    ]
+    return {eid: Experiment(eid, title, fn) for eid, title, fn in entries}
+
+
+EXPERIMENTS: dict[str, Experiment] = _registry()
+
+
+def run_experiment(exp_id: str) -> list[dict]:
+    """Build one experiment's rows by id (raises ``KeyError`` if unknown)."""
+    return EXPERIMENTS[exp_id].run()

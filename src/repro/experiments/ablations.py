@@ -1,0 +1,261 @@
+"""Experiments A-*: ablations and extensions beyond the paper."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..algorithms.transitive_closure import make_inputs, tc_regular
+from ..algorithms.warshall import (
+    floyd_warshall_reference,
+    random_adjacency,
+    warshall,
+)
+from ..core.control import control_complexity
+from ..core.ggraph import GGraph, group_by_blocks, group_by_columns
+from ..core.gsets import (
+    SCHEDULE_POLICIES,
+    make_linear_gsets,
+    make_mesh_gsets,
+    schedule_gsets,
+    verify_schedule,
+)
+from ..core.metrics import evaluate_schedule, schedule_memory_traffic
+from ..core.schedopt import memory_highwater, schedule_gsets_memory_aware
+from ..core.semiring import BOOLEAN, COUNTING, MAX_MIN, MIN_PLUS, closure_reference
+from ..arrays.cost import fixed_array_cost, partitioned_array_cost
+from ..arrays.cycle_sim import simulate
+from ..arrays.pipeline import run_chained_instances
+from ..arrays.plan import fixed_array_plan, min_initiation_interval, partitioned_plan
+
+__all__ = [
+    "policy_ablation",
+    "grouping_ablation",
+    "alignment_ablation",
+    "chained_census",
+    "semiring_sweep",
+    "cost_census",
+    "hybrid_census",
+]
+
+
+def policy_ablation(n: int = 16, m: int = 4) -> list[dict]:
+    """A-POL: host bandwidth vs memory high-water across issue orders."""
+    dg = tc_regular(n)
+    gg = GGraph(dg, group_by_columns)
+    plan = make_linear_gsets(gg, m, aligned=True)
+    env = make_inputs(random_adjacency(n, seed=0))
+    orders = {
+        policy: schedule_gsets(plan, policy) for policy in sorted(SCHEDULE_POLICIES)
+    }
+    orders["memory-aware"] = schedule_gsets_memory_aware(plan)
+    rows = []
+    for policy, order in orders.items():
+        verify_schedule(plan, order)
+        ep = partitioned_plan(plan, order)
+        res = simulate(ep, dg, env)
+        rows.append(
+            {
+                "policy": policy,
+                "makespan": res.makespan,
+                "stalls": ep.stall_cycles,
+                "req_hostBW(preload=nm)": float(
+                    res.required_host_bandwidth(preload=n * m)
+                ),
+                "mem_highwater": memory_highwater(plan, order),
+                "violations": len(res.violations),
+            }
+        )
+    return rows
+
+
+def grouping_ablation(n: int = 12, m: int = 4) -> list[dict]:
+    """A-GRP: granularity trade (Fig. 9), fine -> coarse ordering."""
+    dg = tc_regular(n)
+    variants = [(f"blocks {br}x{br}", group_by_blocks(br, br, n)) for br in (2, 3, 6)]
+    variants.insert(2, ("columns (paper)", group_by_columns))
+    rows = []
+    for name, assign in variants:
+        gg = GGraph(dg, assign)
+        plan = make_linear_gsets(gg, m)
+        order = schedule_gsets(plan)
+        rep = evaluate_schedule(plan, order)
+        rows.append(
+            {
+                "grouping": name,
+                "gnodes": len(gg),
+                "gnodes/cell": round(len(gg) / m, 1),
+                "max_gnode_time": max(gn.comp_time for gn in gg.gnodes.values()),
+                "mem_words": schedule_memory_traffic(plan, order),
+                "total_time": rep.total_time,
+                "occupancy": float(rep.occupancy),
+            }
+        )
+    return rows
+
+
+def alignment_ablation(configs=((11, 4), (15, 4), (19, 4))) -> list[dict]:
+    """A-ALN: the paper's skew-aligned blocks vs packed blocks."""
+    rows = []
+    for n, m in configs:
+        dg = tc_regular(n)
+        gg = GGraph(dg, group_by_columns)
+        env = make_inputs(random_adjacency(n, seed=1))
+        for aligned in (True, False):
+            plan = make_linear_gsets(gg, m, aligned=aligned)
+            order = schedule_gsets(plan, "vertical")
+            rep = evaluate_schedule(plan, order)
+            ep = partitioned_plan(plan, order)
+            res = simulate(ep, dg, env)
+            rows.append(
+                {
+                    "n": n,
+                    "m": m,
+                    "blocks": "aligned" if aligned else "packed",
+                    "total_time": rep.total_time,
+                    "U": float(rep.utilization),
+                    "boundary_sets": rep.boundary_gsets,
+                    "req_hostBW": float(res.required_host_bandwidth(preload=n * m)),
+                    "paper_m/n": round(m / n, 3),
+                }
+            )
+    return rows
+
+
+def chained_census(n: int = 8, ks=(1, 2, 4, 6)) -> list[dict]:
+    """A-CHAIN: k overlapped instances on the fixed array."""
+    dg = tc_regular(n)
+    gg = GGraph(dg, group_by_columns)
+    ep = fixed_array_plan(gg)
+    delta = min_initiation_interval(ep)
+    base_makespan = ep.makespan
+    rows = []
+    for k in ks:
+        mats = [random_adjacency(n, 0.3, seed=s) for s in range(k)]
+        run = run_chained_instances(dg, ep, [make_inputs(a) for a in mats], delta)
+        correct = all(
+            np.array_equal(run.output_matrix(i, n), warshall(mats[i]))
+            for i in range(k)
+        )
+        rows.append(
+            {
+                "n": n,
+                "instances": k,
+                "delta": delta,
+                "makespan": run.result.makespan,
+                "expected": base_makespan + (k - 1) * delta,
+                "violations": len(run.result.violations),
+                "all_correct": correct,
+                "occupancy": float(run.result.occupancy),
+            }
+        )
+    return rows
+
+
+def semiring_sweep(n: int = 10, m: int = 4) -> list[dict]:
+    """A-EXT: one array design, a family of path problems."""
+    rng = np.random.default_rng(17)
+    dg = tc_regular(n)
+    gg = GGraph(dg, group_by_columns)
+    plan = make_linear_gsets(gg, m)
+    ep = partitioned_plan(plan, schedule_gsets(plan))
+    rows = []
+    cases = [
+        ("reachability", BOOLEAN, random_adjacency(n, 0.3, seed=1), warshall),
+        (
+            "shortest paths",
+            MIN_PLUS,
+            np.where(rng.random((n, n)) < 0.4,
+                     rng.integers(1, 9, (n, n)).astype(float), np.inf),
+            floyd_warshall_reference,
+        ),
+        (
+            "bottleneck paths",
+            MAX_MIN,
+            MAX_MIN.random_matrix(n, rng),
+            lambda a: closure_reference(a, MAX_MIN),
+        ),
+    ]
+    for name, sr, a, ref in cases:
+        res = simulate(ep, dg, make_inputs(a, sr), sr)
+        ok = bool(np.array_equal(res.output_matrix(n, sr), ref(a)))
+        rows.append(
+            {
+                "problem": name,
+                "semiring": sr.name,
+                "pruning_sound": sr.supports_superfluous_pruning(),
+                "correct": ok,
+                "violations": len(res.violations),
+            }
+        )
+    rows.append(
+        {
+            "problem": "path counting",
+            "semiring": COUNTING.name,
+            "pruning_sound": COUNTING.supports_superfluous_pruning(),
+            "correct": "n/a (pruned graph invalid by design)",
+            "violations": 0,
+        }
+    )
+    return rows
+
+
+def cost_census(n: int = 16, m: int = 4) -> list[dict]:
+    """A-COST: structural resource counts per array design."""
+    gg = GGraph(tc_regular(n), group_by_columns)
+    lin_plan = make_linear_gsets(gg, m)
+    mesh_plan = make_mesh_gsets(gg, m)
+    designs = [
+        partitioned_array_cost(lin_plan, schedule_gsets(lin_plan)),
+        partitioned_array_cost(mesh_plan, schedule_gsets(mesh_plan)),
+        fixed_array_cost(n, n + 1),
+    ]
+    return [c.row() for c in designs]
+
+
+def hybrid_census(n: int = 16, m: int = 4, piles_list=(1, 2, 4, 8)) -> list[dict]:
+    """A-HYB: the LSGP <-> LPGS spectrum via hybrid partitioning.
+
+    The paper's own conjecture measured: cut-and-pile first (piles), then
+    coalescing within each pile — local storage falls with the pile count
+    while external traffic rises toward pure cut-and-pile.
+    """
+    from ..partitioning.coalescing import coalesce_by_strips
+    from ..partitioning.hybrid import hybrid_partition
+
+    gg = GGraph(tc_regular(n), group_by_columns)
+    rows = []
+    pure = coalesce_by_strips(gg, m)
+    rows.append(
+        {
+            "scheme": "pure coalescing (LSGP)",
+            "piles": 1,
+            "local_storage": pure.max_local_storage,
+            "external_words": 0,
+            "total_time": pure.total_time,
+        }
+    )
+    for piles in piles_list:
+        if piles == 1:
+            continue
+        h = hybrid_partition(gg, m, piles)
+        rows.append(
+            {
+                "scheme": f"hybrid ({piles} piles)",
+                "piles": piles,
+                "local_storage": h.max_local_storage,
+                "external_words": h.external_words,
+                "total_time": h.total_time,
+            }
+        )
+    plan = make_linear_gsets(gg, m)
+    order = schedule_gsets(plan)
+    rows.append(
+        {
+            "scheme": "pure cut-and-pile (LPGS)",
+            "piles": len(gg.cols),
+            "local_storage": 0,
+            "external_words": schedule_memory_traffic(plan, order),
+            "total_time": evaluate_schedule(plan, order).total_time,
+        }
+    )
+    return rows

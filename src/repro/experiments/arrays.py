@@ -1,0 +1,188 @@
+"""Experiments F17-F21: the derived arrays, measured by simulation."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+
+from ..algorithms.transitive_closure import make_inputs, tc_regular
+from ..algorithms.warshall import random_adjacency, warshall
+from ..baselines.kung_fixed import run_kung_fixed
+from ..core.ggraph import GGraph, group_by_columns
+from ..core.gsets import (
+    SCHEDULE_POLICIES,
+    make_linear_gsets,
+    make_mesh_gsets,
+    schedule_gsets,
+    verify_schedule,
+)
+from ..core.metrics import (
+    evaluate_schedule,
+    tc_linear_throughput,
+    tc_mesh_throughput,
+    tc_utilization,
+)
+from ..arrays.cycle_sim import simulate
+from ..arrays.host import simulate_rblock_chain
+from ..arrays.plan import (
+    fixed_array_plan,
+    fixed_linear_plan,
+    min_initiation_interval,
+    partitioned_plan,
+)
+
+__all__ = [
+    "fixed_array_census",
+    "linear_sweep",
+    "mesh_sweep",
+    "schedule_census",
+    "io_census",
+]
+
+
+def fixed_array_census(ns=(5, 8, 11)) -> list[dict]:
+    """F17: the fixed-size arrays versus Kung's load/reuse array."""
+    rows = []
+    for n in ns:
+        dg = tc_regular(n)
+        gg = GGraph(dg, group_by_columns)
+        a = random_adjacency(n, 0.35, seed=n)
+        ref = warshall(a)
+
+        ep = fixed_array_plan(gg)
+        res = simulate(ep, dg, make_inputs(a))
+        ii = min_initiation_interval(ep)
+
+        epl = fixed_linear_plan(gg)
+        resl = simulate(epl, dg, make_inputs(a))
+        iil = min_initiation_interval(epl)
+
+        kung = run_kung_fixed(a)
+        rows.append(
+            {
+                "n": n,
+                "gnodes": len(gg),
+                "ours_II": ii,
+                "ours_mem_words": res.memory_words,
+                "ours_ok": bool(np.array_equal(res.output_matrix(n), ref)),
+                "kung_II": int(1 / kung.throughput),
+                "kung_load_ovh": kung.overhead,
+                "kung_ok": bool(np.array_equal(kung.result, ref)),
+                "linear_II": iil,
+                "n(n+1)": n * (n + 1),
+                "linear_ok": bool(np.array_equal(resl.output_matrix(n), ref)),
+            }
+        )
+    return rows
+
+
+def linear_sweep(configs=((9, 5), (11, 4), (11, 6), (14, 3), (14, 5), (15, 4))) -> list[dict]:
+    """F18: the linear partitioned array, cycle-measured vs Sec. 4.2."""
+    rows = []
+    for n, m in configs:
+        dg = tc_regular(n)
+        gg = GGraph(dg, group_by_columns)
+        plan = make_linear_gsets(gg, m, aligned=False)
+        order = schedule_gsets(plan, "vertical")
+        rep = evaluate_schedule(plan, order)
+        ep = partitioned_plan(plan, order)
+        a = random_adjacency(n, 0.35, seed=n + m)
+        res = simulate(ep, dg, make_inputs(a))
+        rows.append(
+            {
+                "n": n,
+                "m": m,
+                "T_measured": float(rep.throughput),
+                "T_paper": float(tc_linear_throughput(n, m)),
+                "U_measured": float(rep.utilization),
+                "U_paper": float(tc_utilization(n)),
+                "stalls": ep.stall_cycles,
+                "mem_ports": rep.memory_connections,
+                "closure_ok": bool(np.array_equal(res.output_matrix(n), warshall(a))),
+                "violations": len(res.violations),
+            }
+        )
+    return rows
+
+
+def mesh_sweep(configs=((10, 4), (12, 4), (12, 9), (15, 9))) -> list[dict]:
+    """F19: the two-dimensional partitioned array vs Sec. 4.2."""
+    rows = []
+    for n, m in configs:
+        dg = tc_regular(n)
+        gg = GGraph(dg, group_by_columns)
+        plan = make_mesh_gsets(gg, m)
+        order = schedule_gsets(plan, "vertical")
+        rep = evaluate_schedule(plan, order)
+        ep = partitioned_plan(plan, order)
+        a = random_adjacency(n, 0.35, seed=n * m)
+        res = simulate(ep, dg, make_inputs(a))
+        side = int(m**0.5)
+        rows.append(
+            {
+                "n": n,
+                "m": m,
+                "shape": f"{side}x{side}",
+                "T_measured": float(rep.throughput),
+                "T_paper": float(tc_mesh_throughput(n, m)),
+                "T_ratio": float(rep.throughput / tc_mesh_throughput(n, m)),
+                "boundary_sets": rep.boundary_gsets,
+                "stalls": ep.stall_cycles,
+                "mem_ports": rep.memory_connections,
+                "closure_ok": bool(np.array_equal(res.output_matrix(n), warshall(a))),
+            }
+        )
+    return rows
+
+
+def schedule_census(n: int = 12, m: int = 4) -> list[dict]:
+    """F20: every policy is legal, pipelined and stall-free."""
+    dg = tc_regular(n)
+    gg = GGraph(dg, group_by_columns)
+    plan = make_linear_gsets(gg, m)
+    rows = []
+    for policy in sorted(SCHEDULE_POLICIES):
+        order = schedule_gsets(plan, policy)
+        verify_schedule(plan, order)
+        ep = partitioned_plan(plan, order)
+        res = simulate(ep, dg, make_inputs(random_adjacency(n, seed=1)))
+        rows.append(
+            {
+                "policy": policy,
+                "gsets": len(order),
+                "makespan": ep.makespan,
+                "stalls": ep.stall_cycles,
+                "violations": len(res.violations),
+                "first_sets": " ".join(str(s.sid) for s in order[:4]),
+            }
+        )
+    return rows
+
+
+def io_census(configs=((12, 3), (12, 4), (16, 4), (20, 4))) -> list[dict]:
+    """F21: host bandwidth and R-block chain feasibility at m/n."""
+    rows = []
+    for n, m in configs:
+        dg = tc_regular(n)
+        gg = GGraph(dg, group_by_columns)
+        plan = make_linear_gsets(gg, m, aligned=True)
+        order = schedule_gsets(plan, "vertical")
+        ep = partitioned_plan(plan, order)
+        res = simulate(ep, dg, make_inputs(random_adjacency(n, seed=n)))
+        slow = simulate_rblock_chain(res, Fraction(m, n))
+        full = simulate_rblock_chain(res, 1)
+        rows.append(
+            {
+                "n": n,
+                "m": m,
+                "words": len(res.input_deadlines),
+                "avg_D_IO": float(res.average_host_bandwidth()),
+                "paper_m/n": m / n,
+                "chain@m/n_ok": slow.feasible,
+                "preload_words": slow.preload_words,
+                "max_R_memory": slow.max_r_memory,
+                "chain@1_Rmem": full.max_r_memory,
+            }
+        )
+    return rows

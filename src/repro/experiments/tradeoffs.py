@@ -1,0 +1,137 @@
+"""Experiments F22, T-EVAL, T-BASE, T-FT: the paper's comparisons."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..algorithms.faddeev import faddeev_ggraph
+from ..algorithms.givens import givens_ggraph
+from ..algorithms.lu import lu_ggraph
+from ..algorithms.transitive_closure import tc_regular
+from ..algorithms.warshall import random_adjacency, warshall
+from ..baselines.nunez_torralba import run_nunez_torralba
+from ..core.ggraph import GGraph, group_by_columns
+from ..core.gsets import make_linear_gsets, make_mesh_gsets, schedule_gsets
+from ..core.metrics import (
+    boundary_loss,
+    evaluate_schedule,
+    tc_io_bandwidth,
+    tc_linear_throughput,
+    tc_utilization,
+    time_mixing_loss,
+)
+from ..arrays.faults import degraded_throughput
+
+__all__ = [
+    "varying_time_census",
+    "tradeoff_sweep",
+    "baseline_sweep",
+    "fault_sweep",
+]
+
+
+def varying_time_census(n: int = 12, m: int = 4) -> list[dict]:
+    """F22: time-mixing loss — zero on linear paths, positive on blocks."""
+    rows = []
+    for name, gg in [
+        ("LU", lu_ggraph(n)),
+        ("Faddeev", faddeev_ggraph(max(3, n // 2))),
+        ("Givens QR", givens_ggraph(n)),
+    ]:
+        lin_plan = make_linear_gsets(gg, m)
+        lin_order = schedule_gsets(lin_plan)
+        mesh_plan = make_mesh_gsets(gg, m)
+        mesh_order = schedule_gsets(mesh_plan)
+        lin = evaluate_schedule(lin_plan, lin_order)
+        mesh = evaluate_schedule(mesh_plan, mesh_order)
+        rows.append(
+            {
+                "algorithm": name,
+                "m": m,
+                "linear_mixing_loss": float(time_mixing_loss(lin_plan, lin_order)),
+                "mesh_mixing_loss": float(time_mixing_loss(mesh_plan, mesh_order)),
+                "linear_boundary": float(boundary_loss(lin_plan, lin_order)),
+                "mesh_boundary": float(boundary_loss(mesh_plan, mesh_order)),
+                "linear_occ": float(lin.occupancy),
+                "mesh_occ": float(mesh.occupancy),
+            }
+        )
+    return rows
+
+
+def tradeoff_sweep(configs=((11, 4), (15, 4), (17, 9), (19, 4))) -> list[dict]:
+    """T-EVAL: the Sec. 4.2 linear-vs-mesh comparison table."""
+    rows = []
+    for n, m in configs:
+        gg = GGraph(tc_regular(n), group_by_columns)
+        for geometry in ("linear", "mesh"):
+            if geometry == "linear":
+                plan = make_linear_gsets(gg, m, aligned=False)
+            else:
+                plan = make_mesh_gsets(gg, m)
+            rep = evaluate_schedule(plan, schedule_gsets(plan))
+            rows.append(
+                {
+                    "n": n,
+                    "m": m,
+                    "geometry": geometry,
+                    "T_measured": float(rep.throughput),
+                    "T_paper": float(tc_linear_throughput(n, m)),
+                    "U_measured": float(rep.utilization),
+                    "U_paper": float(tc_utilization(n)),
+                    "D_IO_paper": float(tc_io_bandwidth(n, m)),
+                    "mem_ports": rep.memory_connections,
+                    "overhead": rep.overhead,
+                }
+            )
+    return rows
+
+
+def baseline_sweep(configs=((8, 2), (12, 2), (12, 3), (16, 4))) -> list[dict]:
+    """T-BASE: against the Núñez-Torralba block partitioning [22]."""
+    rows = []
+    for n, s in configs:
+        m = s * s
+        a = random_adjacency(n, 0.35, seed=n)
+        theirs = run_nunez_torralba(a, s)
+        assert np.array_equal(theirs.result, warshall(a))
+        gg = GGraph(tc_regular(n), group_by_columns)
+        plan = make_mesh_gsets(gg, m)
+        ours = evaluate_schedule(plan, schedule_gsets(plan))
+        rows.append(
+            {
+                "n": n,
+                "cells": m,
+                "NT_kernels": theirs.kernels,
+                "NT_control_steps": theirs.control_steps,
+                "NT_cycles": theirs.total_cycles,
+                "ours_cycles": ours.total_time,
+                "speedup": round(theirs.total_cycles / ours.total_time, 2),
+                "NT_mem_words": theirs.memory_words,
+                "ours_mem_words": ours.memory_words,
+            }
+        )
+    return rows
+
+
+def fault_sweep(configs=((12, 4, 1), (16, 9, 1), (16, 9, 2))) -> list[dict]:
+    """T-FT: graceful degradation, linear bypass vs mesh row retirement."""
+    rows = []
+    for n, m, f in configs:
+        gg = GGraph(tc_regular(n), group_by_columns)
+        reports = degraded_throughput(gg, m, f)
+        for geometry, rep in reports.items():
+            rows.append(
+                {
+                    "n": n,
+                    "m": m,
+                    "failures": f,
+                    "geometry": geometry,
+                    "cells_lost": rep.cells_lost,
+                    "cells_used": rep.cells_used,
+                    "healthy_cycles": rep.healthy_time,
+                    "degraded_cycles": rep.degraded_time,
+                    "throughput_retention": round(float(rep.retention), 3),
+                }
+            )
+    return rows

@@ -1,0 +1,73 @@
+"""Cut-and-pile / LPGS partitioning (Fig. 2) — the paper's scheme.
+
+Components sized to the whole array are mapped onto it sequentially;
+intermediate data is parked in external memories and fed back when
+needed.  This module is the one-call orchestration of the machinery in
+:mod:`repro.core`: grouping -> G-set selection -> scheduling -> execution
+plan -> Sec. 4.1 report, for either target geometry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.ggraph import GGraph
+from ..core.gsets import (
+    GSet,
+    GSetPlan,
+    make_linear_gsets,
+    make_mesh_gsets,
+    schedule_gsets,
+    verify_schedule,
+)
+from ..core.metrics import PerformanceReport, evaluate_schedule
+from ..arrays.plan import ExecutionPlan, partitioned_plan
+
+__all__ = ["CutAndPile", "cut_and_pile"]
+
+
+@dataclass
+class CutAndPile:
+    """A complete cut-and-pile mapping of one G-graph onto one array."""
+
+    gg: GGraph
+    plan: GSetPlan
+    order: list[GSet]
+    exec_plan: ExecutionPlan
+    report: PerformanceReport
+
+
+def cut_and_pile(
+    gg: GGraph,
+    m: int,
+    geometry: str = "linear",
+    policy: str = "vertical",
+    aligned: bool = True,
+    mesh_shape: tuple[int, int] | None = None,
+) -> CutAndPile:
+    """Partition ``gg`` onto an ``m``-cell array by cut-and-pile.
+
+    Parameters
+    ----------
+    geometry:
+        ``"linear"`` (Fig. 18) or ``"mesh"`` (Fig. 19).
+    policy:
+        G-set schedule policy (see
+        :data:`repro.core.gsets.SCHEDULE_POLICIES`); the paper uses
+        ``"vertical"``.
+    aligned:
+        Linear only — skew-align block boundaries (the paper's scheme;
+        see :func:`repro.core.gsets.make_linear_gsets`).
+    """
+    if geometry == "linear":
+        plan = make_linear_gsets(gg, m, aligned=aligned)
+    elif geometry == "mesh":
+        plan = make_mesh_gsets(gg, m, shape=mesh_shape)
+    else:
+        raise ValueError(f"unknown geometry {geometry!r}")
+    order = schedule_gsets(plan, policy)
+    verify_schedule(plan, order)
+    exec_plan = partitioned_plan(plan, order)
+    report = evaluate_schedule(plan, order)
+    return CutAndPile(gg=gg, plan=plan, order=order, exec_plan=exec_plan, report=report)

@@ -1,0 +1,10 @@
+"""ASCII rendering of graphs, G-graphs, and schedules."""
+
+from .ascii_art import (  # noqa: F401
+    render_ggraph_times,
+    render_schedule,
+    render_stage_table,
+    render_level_grid,
+    render_gantt,
+    format_table,
+)

@@ -1,0 +1,86 @@
+"""Tests for the software oracles (three-way agreement)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.warshall import (
+    adjacency_from_edges,
+    floyd_warshall_reference,
+    random_adjacency,
+    transitive_closure_networkx,
+    warshall,
+    warshall_vectorized,
+)
+from repro.core.semiring import MIN_PLUS
+
+
+@given(n=st.integers(1, 10), seed=st.integers(0, 1000), density=st.floats(0.0, 1.0))
+@settings(max_examples=40, deadline=None)
+def test_three_implementations_agree(n: int, seed: int, density: float) -> None:
+    a = random_adjacency(n, density, seed=seed)
+    plain = warshall(a)
+    vec = warshall_vectorized(a)
+    nxc = transitive_closure_networkx(a)
+    assert np.array_equal(plain, vec)
+    assert np.array_equal(plain, nxc)
+
+
+def test_known_path_graph() -> None:
+    a = adjacency_from_edges(4, [(0, 1), (1, 2), (2, 3)])
+    c = warshall(a)
+    assert c[0, 3] and c[0, 2] and c[1, 3]
+    assert not c[3, 0]
+
+
+def test_cycle_closes_fully() -> None:
+    a = adjacency_from_edges(3, [(0, 1), (1, 2), (2, 0)])
+    assert warshall(a).all()
+
+
+def test_diagonal_always_set() -> None:
+    a = np.zeros((5, 5), dtype=bool)
+    assert np.all(np.diag(warshall(a)))
+
+
+def test_warshall_rejects_non_square() -> None:
+    with pytest.raises(ValueError, match="square"):
+        warshall(np.zeros((2, 3), dtype=bool))
+
+
+def test_adjacency_from_edges_bounds() -> None:
+    with pytest.raises(ValueError, match="out of range"):
+        adjacency_from_edges(3, [(0, 5)])
+
+
+def test_floyd_warshall_matches_scipy() -> None:
+    from scipy.sparse.csgraph import floyd_warshall as scipy_fw
+
+    rng = np.random.default_rng(7)
+    n = 8
+    w = np.where(rng.random((n, n)) < 0.4,
+                 rng.integers(1, 9, (n, n)).astype(float), np.inf)
+    ours = floyd_warshall_reference(w)
+    w0 = w.copy()
+    np.fill_diagonal(w0, 0.0)
+    theirs = scipy_fw(np.where(np.isinf(w0), 0, w0), directed=True)
+    assert np.allclose(ours, theirs)
+
+
+def test_floyd_warshall_equals_minplus_closure() -> None:
+    rng = np.random.default_rng(8)
+    n = 6
+    w = np.where(rng.random((n, n)) < 0.5,
+                 rng.integers(1, 9, (n, n)).astype(float), np.inf)
+    assert np.array_equal(
+        floyd_warshall_reference(w), warshall_vectorized(w, MIN_PLUS)
+    )
+
+
+def test_random_adjacency_deterministic() -> None:
+    a = random_adjacency(6, 0.3, seed=42)
+    b = random_adjacency(6, 0.3, seed=42)
+    assert np.array_equal(a, b)

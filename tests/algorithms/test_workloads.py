@@ -1,0 +1,87 @@
+"""Tests for the synthetic workload generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import partition_transitive_closure
+from repro.algorithms.warshall import warshall
+from repro.algorithms.workloads import (
+    WORKLOADS,
+    call_graph,
+    grid_maze,
+    layered_dag,
+    random_tournament,
+    ring_with_chords,
+)
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_workload_shape_and_diagonal(name: str) -> None:
+    a = WORKLOADS[name]()
+    assert a.dtype == np.bool_
+    assert a.shape[0] == a.shape[1]
+    assert np.all(np.diag(a))
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_workloads_run_on_the_array(name: str) -> None:
+    a = WORKLOADS[name]()
+    n = a.shape[0]
+    impl = partition_transitive_closure(n=n, m=4)
+    assert np.array_equal(impl.run(a), warshall(a))
+
+
+def test_ring_is_strongly_connected_without_cut() -> None:
+    a = ring_with_chords(8, chords=0)
+    assert warshall(a).all()  # a full one-way ring reaches everything
+
+
+def test_layered_dag_closure_is_feed_forward() -> None:
+    layers, width = 4, 3
+    a = layered_dag(layers, width, density=1.0)
+    c = warshall(a)
+    # No node reaches an earlier layer.
+    for u in range(a.shape[0]):
+        for v in range(a.shape[0]):
+            if c[u, v] and u != v:
+                assert v // width > u // width
+
+
+def test_grid_maze_symmetric_reachability() -> None:
+    a = grid_maze(3, 3, wall_prob=0.3, seed=2)
+    c = warshall(a)
+    assert np.array_equal(c, c.T)  # corridors are bidirectional
+
+
+def test_tournament_has_dominant_node_reach() -> None:
+    a = random_tournament(10, seed=3)
+    c = warshall(a)
+    # In a tournament some node reaches every other (a king exists along
+    # reachability).
+    assert (c.sum(axis=1) == 10).any()
+
+
+def test_call_graph_root_reaches_downward() -> None:
+    a = call_graph(15, seed=1)
+    c = warshall(a)
+    # The root reaches a sizeable subtree, and at least as much as any
+    # leaf-ward node (calls point forward except for rare back edges).
+    assert c[0].sum() > 7
+    assert c[0].sum() >= c[14].sum()
+
+
+@pytest.mark.parametrize(
+    "fn,args",
+    [
+        (ring_with_chords, (1,)),
+        (layered_dag, (0, 3)),
+        (grid_maze, (0, 3)),
+        (random_tournament, (0,)),
+        (call_graph, (0,)),
+    ],
+)
+def test_generators_validate_inputs(fn, args) -> None:
+    with pytest.raises(ValueError):
+        fn(*args)

@@ -1,0 +1,63 @@
+"""Tests for the hardware cost model."""
+
+from __future__ import annotations
+
+from repro.algorithms.transitive_closure import tc_regular
+from repro.core.ggraph import GGraph, group_by_columns
+from repro.core.gsets import make_linear_gsets, make_mesh_gsets, schedule_gsets
+from repro.arrays.cost import fixed_array_cost, partitioned_array_cost
+
+
+def _gg(n: int) -> GGraph:
+    return GGraph(tc_regular(n), group_by_columns)
+
+
+def test_linear_cost_counts() -> None:
+    gg = _gg(10)
+    plan = make_linear_gsets(gg, 4)
+    cost = partitioned_array_cost(plan, schedule_gsets(plan))
+    assert cost.cells == 4
+    assert cost.links == 3  # chain of 4
+    assert cost.memory_ports == 5  # m + 1
+    assert cost.host_ports == 1
+    assert cost.registers == 16
+    assert cost.control_entries > 0
+
+
+def test_mesh_cost_counts() -> None:
+    gg = _gg(10)
+    plan = make_mesh_gsets(gg, 4)
+    cost = partitioned_array_cost(plan, schedule_gsets(plan))
+    assert cost.cells == 4
+    assert cost.links == 4  # 2x2 mesh: 2 horizontal + 2 vertical wires
+    assert cost.memory_ports == 4  # 2 * sqrt(m)
+    assert cost.host_ports == 2
+
+
+def test_fixed_cost_counts() -> None:
+    cost = fixed_array_cost(5, 6)
+    assert cost.cells == 30
+    assert cost.memory_ports == 0
+    assert cost.host_ports == 6
+    # Links: right links 5*(6-1); down-left links 4*5 (from cols 1..5).
+    assert cost.links == 25 + 20
+    assert cost.control_entries == 30  # one context per cell
+
+
+def test_partitioned_much_cheaper_than_fixed() -> None:
+    """The point of partitioning: m cells instead of n(n+1)."""
+    n = 10
+    gg = _gg(n)
+    plan = make_linear_gsets(gg, 4)
+    small = partitioned_array_cost(plan, schedule_gsets(plan))
+    big = fixed_array_cost(n, n + 1)
+    assert big.cells > 25 * small.cells
+    assert big.registers > 25 * small.registers
+
+
+def test_row_keys() -> None:
+    cost = fixed_array_cost(3, 4)
+    row = cost.row()
+    for key in ("design", "cells", "links", "mem_ports", "control", "connections"):
+        assert key in row
+    assert cost.total_connections == cost.links + cost.memory_ports + cost.host_ports

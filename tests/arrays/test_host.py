@@ -1,0 +1,82 @@
+"""Tests for the Fig. 21 R-block host chain."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.algorithms.transitive_closure import make_inputs, tc_regular
+from repro.algorithms.warshall import random_adjacency
+from repro.core.ggraph import GGraph, group_by_columns
+from repro.core.gsets import make_linear_gsets, schedule_gsets
+from repro.arrays.cycle_sim import simulate
+from repro.arrays.host import RBlockReport, column_of_cell, simulate_rblock_chain
+from repro.arrays.plan import partitioned_plan
+
+
+@pytest.fixture(scope="module")
+def sim_result():
+    n, m = 12, 4
+    dg = tc_regular(n)
+    gg = GGraph(dg, group_by_columns)
+    plan = make_linear_gsets(gg, m)
+    ep = partitioned_plan(plan, schedule_gsets(plan, "vertical"))
+    return simulate(ep, dg, make_inputs(random_adjacency(n, seed=0)))
+
+
+def test_full_rate_feasible(sim_result) -> None:
+    rep = simulate_rblock_chain(sim_result, 1)
+    assert rep.feasible
+    assert rep.words == 12 * 12
+
+
+def test_low_rate_still_feasible_with_preload(sim_result) -> None:
+    """At m/n words/cycle the chain works — the host just starts earlier."""
+    rep_full = simulate_rblock_chain(sim_result, 1)
+    rep_slow = simulate_rblock_chain(sim_result, Fraction(4, 12))
+    assert rep_slow.feasible
+    assert rep_slow.start_time < rep_full.start_time
+    assert rep_slow.preload_words >= rep_full.preload_words
+
+
+def test_r_memory_grows_as_rate_drops(sim_result) -> None:
+    fast = simulate_rblock_chain(sim_result, 1)
+    slow = simulate_rblock_chain(sim_result, Fraction(1, 6))
+    assert slow.max_r_memory >= fast.max_r_memory
+
+
+def test_fixed_start_can_be_infeasible(sim_result) -> None:
+    rep = simulate_rblock_chain(sim_result, Fraction(1, 4), start_time=10**6)
+    assert not rep.feasible
+
+
+def test_rate_validation(sim_result) -> None:
+    with pytest.raises(ValueError, match="positive"):
+        simulate_rblock_chain(sim_result, 0)
+    with pytest.raises(ValueError, match="one word per cycle"):
+        simulate_rblock_chain(sim_result, 2)
+
+
+def test_empty_run() -> None:
+    from repro.arrays.cycle_sim import SimResult
+
+    empty = SimResult(
+        outputs={}, makespan=0, cells=1, busy=0, useful=0,
+        memory_words=0, memory_reads=0, input_deadlines={}, input_cells=set(),
+    )
+    rep = simulate_rblock_chain(empty, 1)
+    assert rep.feasible and rep.words == 0 and rep.max_r_memory == 0
+
+
+def test_column_of_cell() -> None:
+    assert column_of_cell(3) == 3
+    assert column_of_cell((2, 5)) == 5
+
+
+def test_preload_words_zero_when_start_nonnegative() -> None:
+    rep = RBlockReport(
+        host_rate=Fraction(1), feasible=True, start_time=5,
+        words=10, max_r_memory=1, last_issue=20,
+    )
+    assert rep.preload_words == 0

@@ -1,0 +1,88 @@
+"""Tests for the external-memory subsystem accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.transitive_closure import tc_regular
+from repro.core.ggraph import GGraph, group_by_columns
+from repro.core.gsets import make_linear_gsets, make_mesh_gsets, schedule_gsets
+from repro.core.metrics import schedule_memory_traffic
+from repro.arrays.memory import analyze_memory
+from repro.arrays.plan import fixed_array_plan, partitioned_plan
+
+
+@pytest.fixture(scope="module")
+def setup():
+    n = 9
+    dg = tc_regular(n)
+    gg = GGraph(dg, group_by_columns)
+    return n, dg, gg
+
+
+def test_writes_match_schedule_traffic(setup) -> None:
+    n, dg, gg = setup
+    plan = make_linear_gsets(gg, 3)
+    order = schedule_gsets(plan)
+    ep = partitioned_plan(plan, order)
+    rep = analyze_memory(ep, dg)
+    assert rep.words_written == schedule_memory_traffic(plan, order)
+    assert rep.words_read >= rep.words_written  # every word read >= once
+
+
+def test_fixed_array_needs_no_memory(setup) -> None:
+    n, dg, gg = setup
+    rep = analyze_memory(fixed_array_plan(gg), dg)
+    assert rep.words_written == 0
+    assert rep.peak_occupancy == 0
+    assert rep.ports_used == 0
+
+
+def test_peak_occupancy_bounded_by_writes(setup) -> None:
+    n, dg, gg = setup
+    plan = make_linear_gsets(gg, 3)
+    ep = partitioned_plan(plan, schedule_gsets(plan))
+    rep = analyze_memory(ep, dg)
+    assert 0 < rep.peak_occupancy <= rep.words_written
+
+
+def test_linear_ports_within_paper_count(setup) -> None:
+    """Traffic uses at most the m+1 taps of Fig. 18."""
+    n, dg, gg = setup
+    m = 3
+    plan = make_linear_gsets(gg, m)
+    ep = partitioned_plan(plan, schedule_gsets(plan))
+    rep = analyze_memory(ep, dg)
+    assert rep.ports_used <= m + 1
+    assert set(rep.port_writes) <= set(range(m))
+
+
+def test_mesh_ports_are_row_taps(setup) -> None:
+    """Mesh traffic goes through the 2*sqrt(m) row-end taps of Fig. 19."""
+    n, dg, gg = setup
+    plan = make_mesh_gsets(gg, 4)
+    ep = partitioned_plan(plan, schedule_gsets(plan))
+    rep = analyze_memory(ep, dg)
+    sides = {p[0] for p in rep.port_writes}
+    assert sides <= {"L", "R"}
+    assert rep.ports_used <= 4  # 2 * sqrt(4)
+
+
+def test_mesh_concentrates_port_load(setup) -> None:
+    """Fewer mesh taps -> each carries more words than a linear tap."""
+    n, dg, gg = setup
+    lin = analyze_memory(
+        partitioned_plan(
+            make_linear_gsets(gg, 4), schedule_gsets(make_linear_gsets(gg, 4))
+        ),
+        dg,
+    )
+    mesh = analyze_memory(
+        partitioned_plan(
+            make_mesh_gsets(gg, 4), schedule_gsets(make_mesh_gsets(gg, 4))
+        ),
+        dg,
+    )
+    lin_avg = (lin.words_written + lin.words_read) / max(1, lin.ports_used)
+    mesh_avg = (mesh.words_written + mesh.words_read) / max(1, mesh.ports_used)
+    assert lin_avg > 0 and mesh_avg > 0

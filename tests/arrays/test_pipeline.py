@@ -1,0 +1,101 @@
+"""Tests for chained-instance co-simulation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.transitive_closure import make_inputs, tc_regular
+from repro.algorithms.warshall import random_adjacency, warshall
+from repro.core.ggraph import GGraph, group_by_columns
+from repro.core.graph import NodeKind, node_counts
+from repro.arrays.pipeline import chain_plans, replicate_graph, run_chained_instances
+from repro.arrays.plan import PlanError, fixed_array_plan, min_initiation_interval
+
+
+@pytest.fixture(scope="module")
+def fixed():
+    n = 6
+    dg = tc_regular(n)
+    gg = GGraph(dg, group_by_columns)
+    ep = fixed_array_plan(gg)
+    return n, dg, ep, min_initiation_interval(ep)
+
+
+class TestReplicateGraph:
+    def test_disjoint_copies(self, fixed) -> None:
+        n, dg, _, _ = fixed
+        big = replicate_graph(dg, 3)
+        base = node_counts(dg)
+        bigc = node_counts(big)
+        for kind in NodeKind:
+            assert bigc[kind] == 3 * base[kind]
+        big.validate()
+
+    def test_copies_are_independent_semantically(self, fixed) -> None:
+        n, dg, _, _ = fixed
+        from repro.core.evaluate import evaluate
+
+        big = replicate_graph(dg, 2)
+        a0 = random_adjacency(n, seed=0)
+        a1 = random_adjacency(n, seed=1)
+        env = {}
+        for nid, v in make_inputs(a0).items():
+            env[("inst", 0, nid)] = v
+        for nid, v in make_inputs(a1).items():
+            env[("inst", 1, nid)] = v
+        outs = evaluate(big, env)
+        m0 = np.array(
+            [[outs[("inst", 0, ("out", i, j))] for j in range(n)] for i in range(n)]
+        )
+        m1 = np.array(
+            [[outs[("inst", 1, ("out", i, j))] for j in range(n)] for i in range(n)]
+        )
+        assert np.array_equal(m0, warshall(a0))
+        assert np.array_equal(m1, warshall(a1))
+
+    def test_rejects_zero_instances(self, fixed) -> None:
+        _, dg, _, _ = fixed
+        with pytest.raises(ValueError, match="at least one"):
+            replicate_graph(dg, 0)
+
+
+class TestChainPlans:
+    def test_legal_interval_accepted(self, fixed) -> None:
+        _, _, ep, delta = fixed
+        combined = chain_plans(ep, 3, delta)
+        assert len(combined.fires) == 3 * len(ep.fires)
+
+    def test_too_small_interval_double_books(self, fixed) -> None:
+        _, _, ep, delta = fixed
+        with pytest.raises(PlanError, match="double-booked"):
+            chain_plans(ep, 2, delta - 1)
+
+    def test_non_positive_interval_rejected(self, fixed) -> None:
+        _, _, ep, _ = fixed
+        with pytest.raises(PlanError, match="positive"):
+            chain_plans(ep, 2, 0)
+
+
+class TestChainedRun:
+    def test_all_instances_correct(self, fixed) -> None:
+        n, dg, ep, delta = fixed
+        mats = [random_adjacency(n, 0.3, seed=s) for s in range(3)]
+        run = run_chained_instances(dg, ep, [make_inputs(a) for a in mats], delta)
+        assert run.ok
+        for i, a in enumerate(mats):
+            assert np.array_equal(run.output_matrix(i, n), warshall(a))
+
+    def test_makespan_slope_is_delta(self, fixed) -> None:
+        n, dg, ep, delta = fixed
+        envs = [make_inputs(random_adjacency(n, seed=s)) for s in range(4)]
+        r1 = run_chained_instances(dg, ep, envs[:1], delta)
+        r4 = run_chained_instances(dg, ep, envs, delta)
+        assert r4.result.makespan - r1.result.makespan == 3 * delta
+
+    def test_occupancy_grows_with_chaining(self, fixed) -> None:
+        n, dg, ep, delta = fixed
+        envs = [make_inputs(random_adjacency(n, seed=s)) for s in range(5)]
+        occ1 = run_chained_instances(dg, ep, envs[:1], delta).result.occupancy
+        occ5 = run_chained_instances(dg, ep, envs, delta).result.occupancy
+        assert occ5 > occ1

@@ -1,0 +1,127 @@
+"""Tests for execution plans (cell/cycle assignment, initiation intervals)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.transitive_closure import tc_regular
+from repro.core.ggraph import GGraph, group_by_columns
+from repro.core.gsets import make_linear_gsets, make_mesh_gsets, schedule_gsets
+from repro.arrays.plan import (
+    ExecutionPlan,
+    PlanError,
+    check_initiation_interval,
+    fixed_array_plan,
+    fixed_linear_plan,
+    min_initiation_interval,
+    partitioned_plan,
+)
+from repro.arrays.topology import linear_topology
+
+
+def tc_gg(n: int) -> GGraph:
+    return GGraph(tc_regular(n), group_by_columns)
+
+
+class TestPartitionedPlan:
+    def test_covers_every_slot_node(self, tc_gg8) -> None:
+        plan = make_linear_gsets(tc_gg8, 3)
+        ep = partitioned_plan(plan, schedule_gsets(plan))
+        slots = sum(gn.comp_time for gn in tc_gg8.gnodes.values())
+        assert len(ep.fires) == slots
+        assert ep.busy_cycles() == slots
+
+    def test_no_stalls_in_paper_regime(self) -> None:
+        gg = tc_gg(12)
+        for make in (
+            lambda: make_linear_gsets(gg, 3),
+            lambda: make_mesh_gsets(gg, 4),
+        ):
+            plan = make()
+            ep = partitioned_plan(plan, schedule_gsets(plan))
+            assert ep.stall_cycles == 0  # "no overhead due to partitioning"
+
+    def test_small_problem_may_stall_but_is_flagged(self) -> None:
+        gg = tc_gg(4)
+        plan = make_mesh_gsets(gg, 4)
+        ep = partitioned_plan(plan, schedule_gsets(plan))
+        assert ep.stall_cycles >= 0  # stalls are measured, not hidden
+
+    def test_set_starts_monotone(self, tc_gg8) -> None:
+        plan = make_linear_gsets(tc_gg8, 3)
+        ep = partitioned_plan(plan, schedule_gsets(plan))
+        starts = [t for _, t in ep.set_starts]
+        assert starts == sorted(starts)
+
+    def test_makespan(self, tc_gg8) -> None:
+        plan = make_linear_gsets(tc_gg8, 8, aligned=False)
+        ep = partitioned_plan(plan, schedule_gsets(plan))
+        # last set start + skew of last cell + slots
+        assert ep.makespan >= 8 * 9 * 8 // 8
+
+    def test_unknown_geometry_rejected(self, tc_gg8) -> None:
+        plan = make_linear_gsets(tc_gg8, 3)
+        plan.geometry = "torus"
+        with pytest.raises(PlanError, match="unknown plan geometry"):
+            partitioned_plan(plan, plan.gsets)
+
+
+class TestExclusivity:
+    def test_double_booking_detected(self) -> None:
+        topo = linear_topology(2)
+        ep = ExecutionPlan(topo, {"a": (0, 3), "b": (0, 3)})
+        with pytest.raises(PlanError, match="double-booked"):
+            ep.validate_exclusive()
+
+    def test_unknown_cell_detected(self) -> None:
+        topo = linear_topology(2)
+        ep = ExecutionPlan(topo, {"a": (7, 0)})
+        with pytest.raises(PlanError, match="unknown cell"):
+            ep.validate_exclusive()
+
+
+class TestFixedArrayPlans:
+    def test_fixed_array_initiation_interval_is_n(self) -> None:
+        """Fig. 17: throughput 1/n — a new problem every n cycles."""
+        for n in (5, 8):
+            ep = fixed_array_plan(tc_gg(n))
+            assert min_initiation_interval(ep) == n
+
+    def test_fixed_linear_initiation_interval(self) -> None:
+        """Linear collapse: throughput 1/(n(n+1)), fully utilized cells."""
+        n = 6
+        ep = fixed_linear_plan(tc_gg(n))
+        assert min_initiation_interval(ep) == n * (n + 1)
+
+    def test_fixed_linear_requires_uniform_times(self) -> None:
+        from repro.algorithms.lu import lu_ggraph
+
+        with pytest.raises(PlanError, match="uniform"):
+            fixed_linear_plan(lu_ggraph(5))
+
+    def test_instance_offset_shifts_times(self) -> None:
+        gg = tc_gg(5)
+        e0 = fixed_array_plan(gg, instance_offset=0)
+        e1 = fixed_array_plan(gg, instance_offset=5)
+        for nid, (cell, t) in e0.fires.items():
+            assert e1.fires[nid] == (cell, t + 5)
+
+
+class TestInitiationInterval:
+    def test_check_rejects_collisions(self) -> None:
+        topo = linear_topology(1)
+        ep = ExecutionPlan(topo, {"a": (0, 0), "b": (0, 3)})
+        assert check_initiation_interval(ep, 2)
+        assert not check_initiation_interval(ep, 3)  # 0 ≡ 3 (mod 3)
+        assert not check_initiation_interval(ep, 0)
+
+    def test_min_interval_lower_bound_is_busiest_cell(self) -> None:
+        topo = linear_topology(1)
+        ep = ExecutionPlan(topo, {"a": (0, 0), "b": (0, 1), "c": (0, 2)})
+        assert min_initiation_interval(ep) == 3
+
+    def test_min_interval_unreachable(self) -> None:
+        topo = linear_topology(1)
+        ep = ExecutionPlan(topo, {"a": (0, 0), "b": (0, 2)})
+        with pytest.raises(PlanError, match="no feasible"):
+            min_initiation_interval(ep, upper=1)

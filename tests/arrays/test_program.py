@@ -1,0 +1,88 @@
+"""Tests for the derived cell programs (microcode view)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.transitive_closure import tc_regular
+from repro.core.ggraph import GGraph, group_by_columns
+from repro.core.gsets import make_linear_gsets, make_mesh_gsets, schedule_gsets
+from repro.arrays.plan import fixed_array_plan, partitioned_plan
+from repro.arrays.program import cell_programs, render_program
+
+
+@pytest.fixture(scope="module")
+def setup():
+    n = 8
+    dg = tc_regular(n)
+    gg = GGraph(dg, group_by_columns)
+    return n, dg, gg
+
+
+def test_fixed_array_has_trivial_control(setup) -> None:
+    """'No control complexity': every cell runs 1-2 patterns forever."""
+    n, dg, gg = setup
+    progs = cell_programs(fixed_array_plan(gg), dg)
+    assert len(progs) == n * (n + 1)
+    assert max(p.distinct_patterns for p in progs.values()) <= 2
+
+
+def test_partitioned_linear_control_is_small_and_uniform(setup) -> None:
+    n, dg, gg = setup
+    plan = make_linear_gsets(gg, 3)
+    progs = cell_programs(partitioned_plan(plan, schedule_gsets(plan)), dg)
+    patterns = {cell: p.distinct_patterns for cell, p in progs.items()}
+    assert max(patterns.values()) <= 10  # a tiny control store suffices
+    # Interior cells share the same store size.
+    assert len(set(patterns.values())) <= 2
+
+
+def test_streams_cover_all_firings(setup) -> None:
+    n, dg, gg = setup
+    plan = make_linear_gsets(gg, 3)
+    ep = partitioned_plan(plan, schedule_gsets(plan))
+    progs = cell_programs(ep, dg)
+    assert sum(p.busy_cycles for p in progs.values()) == len(ep.fires)
+    for p in progs.values():
+        cycles = [ins.cycle for ins in p.instructions]
+        assert cycles == sorted(cycles)
+        assert len(set(cycles)) == len(cycles)  # one instruction per cycle
+
+
+def test_operand_origins_vocabulary(setup) -> None:
+    n, dg, gg = setup
+    plan = make_mesh_gsets(gg, 4)
+    ep = partitioned_plan(plan, schedule_gsets(plan))
+    progs = cell_programs(ep, dg)
+    origins = {
+        origin
+        for p in progs.values()
+        for ins in p.instructions
+        for _, origin in ins.sources
+    }
+    assert origins <= {"self", "mem", "host", "const", "N", "S", "E", "W"}
+    assert "mem" in origins and "host" in origins
+
+
+def test_linear_origins_are_chain_directions(setup) -> None:
+    n, dg, gg = setup
+    plan = make_linear_gsets(gg, 3)
+    ep = partitioned_plan(plan, schedule_gsets(plan))
+    progs = cell_programs(ep, dg)
+    origins = {
+        origin
+        for p in progs.values()
+        for ins in p.instructions
+        for _, origin in ins.sources
+    }
+    assert "L" in origins  # the b chains flow left-to-right
+    assert origins <= {"self", "mem", "host", "const", "L", "R"}
+
+
+def test_render_program(setup) -> None:
+    n, dg, gg = setup
+    progs = cell_programs(fixed_array_plan(gg), dg)
+    text = render_program(progs[(0, 0)], limit=3)
+    assert "distinct patterns" in text
+    assert "t=" in text
+    assert "more" in text  # truncated listing

@@ -1,0 +1,65 @@
+"""Tests for array topologies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arrays.topology import (
+    fixed_grid_topology,
+    linear_topology,
+    mesh_topology,
+)
+
+
+class TestLinear:
+    def test_cells_and_ports(self) -> None:
+        t = linear_topology(5)
+        assert t.m == 5
+        assert t.memory_ports == 6  # m + 1 (Fig. 18)
+        assert t.cells == (0, 1, 2, 3, 4)
+
+    def test_neighbours(self) -> None:
+        t = linear_topology(4)
+        assert t.is_neighbor(1, 2) and t.is_neighbor(2, 1)
+        assert t.is_neighbor(3, 3)
+        assert not t.is_neighbor(0, 2)
+
+    def test_rejects_empty(self) -> None:
+        with pytest.raises(ValueError, match="at least one"):
+            linear_topology(0)
+
+
+class TestMesh:
+    def test_cells_and_ports(self) -> None:
+        t = mesh_topology(3, 3)
+        assert t.m == 9
+        assert t.memory_ports == 6  # 2*sqrt(m) (Fig. 19)
+
+    def test_neighbours_manhattan_one(self) -> None:
+        t = mesh_topology(3, 3)
+        assert t.is_neighbor((0, 0), (0, 1))
+        assert t.is_neighbor((1, 1), (2, 1))
+        assert not t.is_neighbor((0, 0), (1, 1))  # no diagonal links
+        assert not t.is_neighbor((0, 0), (0, 2))
+
+    def test_has_cell(self) -> None:
+        t = mesh_topology(2, 3)
+        assert t.has_cell((1, 2))
+        assert not t.has_cell((2, 0))
+
+    def test_rejects_bad_shape(self) -> None:
+        with pytest.raises(ValueError, match="positive"):
+            mesh_topology(0, 3)
+
+
+class TestFixedGrid:
+    def test_links_follow_g_edges(self) -> None:
+        t = fixed_grid_topology(4, 5)
+        assert t.m == 20
+        assert t.is_neighbor((0, 0), (0, 1))  # right (horizontal path)
+        assert t.is_neighbor((0, 1), (1, 0))  # down-left (next level)
+        assert not t.is_neighbor((0, 0), (1, 0))  # no straight-down link
+        assert not t.is_neighbor((0, 1), (0, 0))  # links are directed
+
+    def test_host_ports(self) -> None:
+        assert fixed_grid_topology(4, 5).memory_ports == 5

@@ -1,0 +1,110 @@
+"""Tests for the comparator models (Kung [23], Núñez-Torralba [22])."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.transitive_closure import tc_regular
+from repro.algorithms.warshall import random_adjacency, warshall
+from repro.baselines.kung_fixed import run_kung_fixed
+from repro.baselines.nunez_torralba import run_nunez_torralba
+from repro.core.ggraph import GGraph, group_by_columns
+from repro.core.metrics import tc_utilization
+from repro.arrays.plan import fixed_array_plan, min_initiation_interval
+
+
+class TestKungFixed:
+    @given(n=st.integers(3, 10), seed=st.integers(0, 100))
+    @settings(max_examples=15, deadline=None)
+    def test_computes_closure(self, n, seed) -> None:
+        a = random_adjacency(n, 0.35, seed=seed)
+        model = run_kung_fixed(a)
+        assert np.array_equal(model.result, warshall(a))
+
+    def test_throughput_half_of_ours(self) -> None:
+        """Fig. 17 comparison: load/reuse doubles the initiation interval."""
+        n = 8
+        a = random_adjacency(n, seed=0)
+        model = run_kung_fixed(a)
+        assert model.throughput == Fraction(1, 2 * n)
+        ours = min_initiation_interval(
+            fixed_array_plan(GGraph(tc_regular(n), group_by_columns))
+        )
+        assert model.throughput == Fraction(1, 2) * Fraction(1, ours)
+
+    def test_utilization_below_ours(self) -> None:
+        n = 10
+        model = run_kung_fixed(random_adjacency(n, seed=1))
+        assert float(model.utilization()) < float(tc_utilization(n))
+        assert float(model.utilization()) < 0.55
+
+    def test_overhead_is_the_load_phase(self) -> None:
+        n = 6
+        model = run_kung_fixed(random_adjacency(n, seed=2))
+        assert model.overhead == n * n
+        assert model.total_cycles == 2 * n * n
+
+    def test_control_and_paths(self) -> None:
+        """The qualitative comparison: 2 control states and 2 comm paths
+        versus the Fig. 17 array's overlapped, single-path operation."""
+        model = run_kung_fixed(random_adjacency(5, seed=3))
+        assert model.control_states == 2
+        assert model.comm_paths == 2
+
+
+class TestNunezTorralba:
+    @given(
+        n=st.integers(3, 12),
+        block=st.integers(1, 12),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_blocked_closure_correct(self, n, block, seed) -> None:
+        block = min(block, n)
+        a = random_adjacency(n, 0.3, seed=seed)
+        model = run_nunez_torralba(a, block)
+        assert np.array_equal(model.result, warshall(a))
+
+    def test_kernel_count_is_q_cubed(self) -> None:
+        """q pivot blocks x q^2 kernels each."""
+        a = random_adjacency(12, seed=4)
+        model = run_nunez_torralba(a, 4)
+        q = 3
+        assert model.kernels == q**3
+        assert model.closure_kernels == q
+        assert model.multiply_kernels == q**3 - q
+
+    def test_control_complexity_versus_ours(self) -> None:
+        """The paper: 'their algorithm requires rather complex control to
+        chain the different sub-problems' — one mode switch per kernel,
+        versus a single steady schedule for cut-and-pile."""
+        n, m = 12, 16
+        a = random_adjacency(n, seed=5)
+        model = run_nunez_torralba(a, 4)
+        assert model.control_steps == model.kernels
+        assert model.control_steps > n  # grows as (n/s)^3
+
+    def test_throughput_worse_than_cut_and_pile(self) -> None:
+        """Same cell count: the blocked scheme pays kernel fill/drain."""
+        from repro.core.gsets import make_mesh_gsets, schedule_gsets
+        from repro.core.metrics import evaluate_schedule
+
+        n, s = 12, 4  # m = 16 cells each
+        a = random_adjacency(n, seed=6)
+        theirs = run_nunez_torralba(a, s)
+        gg = GGraph(tc_regular(n), group_by_columns)
+        plan = make_mesh_gsets(gg, s * s)
+        ours = evaluate_schedule(plan, schedule_gsets(plan))
+        assert theirs.total_cycles > ours.total_time
+
+    def test_validation(self) -> None:
+        a = random_adjacency(6, seed=7)
+        with pytest.raises(ValueError, match="block"):
+            run_nunez_torralba(a, 0)
+        with pytest.raises(ValueError, match="block"):
+            run_nunez_torralba(a, 7)

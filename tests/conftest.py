@@ -1,0 +1,27 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.transitive_closure import TC_STAGES, tc_regular
+from repro.core.ggraph import GGraph, group_by_columns
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    """Deterministic RNG for the whole session."""
+    return np.random.default_rng(20260705)
+
+
+@pytest.fixture(scope="session")
+def tc_stage_graphs():
+    """All five transitive-closure pipeline stages at n=5 (built once)."""
+    return {name: ctor(5) for name, ctor in TC_STAGES.items()}
+
+
+@pytest.fixture(scope="session")
+def tc_gg8():
+    """The Fig. 17 G-graph at n=8 (built once; reused by many tests)."""
+    return GGraph(tc_regular(8), group_by_columns)

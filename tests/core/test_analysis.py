@@ -1,0 +1,154 @@
+"""Tests for the graph analyses (broadcast/flow/regularity/long edges)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.analysis import (
+    communication_patterns,
+    find_broadcasts,
+    flow_directions,
+    is_pipelined,
+    long_edges,
+    max_fanout,
+)
+from repro.core.graph import DependenceGraph, NodeKind, port
+
+
+def broadcast_graph(fanout: int) -> DependenceGraph:
+    dg = DependenceGraph("bcast")
+    dg.add_input("src", pos=(0, 0))
+    for i in range(fanout):
+        dg.add_pass(f"c{i}", "src", pos=(1, i))
+    return dg
+
+
+def test_find_broadcasts_detects_fanout() -> None:
+    dg = broadcast_graph(5)
+    rep = find_broadcasts(dg)
+    assert rep.count == 1
+    assert rep.sources[0] == (("src", "out"), 5)
+    assert rep.max_fanout == 5
+    assert rep.total_fanout == 5
+    assert max_fanout(dg) == 5
+    assert not is_pipelined(dg)
+
+
+def test_find_broadcasts_threshold() -> None:
+    dg = broadcast_graph(2)
+    assert find_broadcasts(dg, fanout_threshold=2).count == 0
+    assert find_broadcasts(dg, fanout_threshold=1).count == 1
+
+
+def test_outputs_do_not_count_as_consumers() -> None:
+    dg = DependenceGraph()
+    dg.add_input("src")
+    for i in range(4):
+        dg.add_output(f"o{i}", "src")
+    assert find_broadcasts(dg).count == 0
+
+
+def test_fanout_counted_per_port() -> None:
+    """Forwarded operands on distinct ports are not a broadcast."""
+    dg = DependenceGraph()
+    for nid in ("a", "b", "c"):
+        dg.add_input(nid)
+    dg.add_op("m", "mac", {"a": "a", "b": "b", "c": "c"})
+    dg.add_pass("p1", port("m", "b"))
+    dg.add_pass("p2", port("m", "c"))
+    dg.add_pass("p3", "m")
+    assert find_broadcasts(dg, fanout_threshold=1).count == 0
+
+
+def test_self_wiring_is_one_consumer() -> None:
+    dg = DependenceGraph()
+    dg.add_input("x")
+    dg.add_op("m", "mac", {"a": "x", "b": "x", "c": "x"})
+    rep = find_broadcasts(dg, fanout_threshold=0)
+    assert rep.sources[0] == (("x", "out"), 1)
+
+
+def chain_graph(deltas: list[int]) -> DependenceGraph:
+    dg = DependenceGraph("chain")
+    dg.add_input("i", pos=(0,))
+    prev = "i"
+    x = 0
+    for idx, d in enumerate(deltas):
+        x += d
+        nid = f"p{idx}"
+        dg.add_pass(nid, prev, pos=(x,))
+        prev = nid
+    return dg
+
+
+def test_flow_directions_unidirectional() -> None:
+    dg = chain_graph([1, 1, 1])
+    rep = flow_directions(dg)
+    assert rep.is_unidirectional
+    assert rep.bidirectional_dims() == ()
+
+
+def test_flow_directions_bidirectional() -> None:
+    dg = chain_graph([1, -1, 1])
+    rep = flow_directions(dg)
+    assert not rep.is_unidirectional
+    assert rep.bidirectional_dims() == (0,)
+
+
+def test_flow_directions_wrap() -> None:
+    """A -(M-1) jump on a cyclic dimension counts as +1."""
+    dg = chain_graph([1, 1, -2])  # positions 0,1,2,0 on a mod-3 ring
+    rep = flow_directions(dg, wrap=(3,))
+    assert rep.is_unidirectional
+
+
+def test_flow_untagged_edges_counted() -> None:
+    dg = DependenceGraph()
+    dg.add_input("i", pos=(0,))
+    dg.add_pass("p", "i", pos=(1,))
+    dg.add_pass("q", "p")  # slot node without a position
+    rep = flow_directions(dg)
+    assert rep.untagged_edges == 1
+
+
+def test_flow_ignores_io_edges() -> None:
+    """Edges touching inputs/outputs are host wiring, not array flow."""
+    dg = chain_graph([1, -5])  # i -> p0 -> p1; the input edge is ignored
+    dg.add_output("o", "p1", pos=(0,))
+    rep = flow_directions(dg)
+    total = sum(sum(h.values()) for h in rep.displacements)
+    assert total == 1  # only p0 -> p1 counted
+
+
+def test_communication_patterns_uniform_vs_mixed() -> None:
+    dg = DependenceGraph()
+    dg.add_input("x", pos=(0, 0))
+    dg.add_op("m1", "neg", {"a": "x"}, pos=(1, 0))
+    dg.add_op("m2", "neg", {"a": "m1"}, pos=(2, 0))
+    rep = communication_patterns(dg)
+    assert rep.distinct == 1
+    assert rep.dominant_fraction == 1.0
+    dg.add_op("m3", "neg", {"a": "m1"}, pos=(5, 5))  # a different stencil
+    rep = communication_patterns(dg)
+    assert rep.distinct == 2
+    assert rep.dominant_fraction == pytest.approx(2 / 3)
+
+
+def test_long_edges() -> None:
+    dg = DependenceGraph()
+    dg.add_input("i", pos=(0, 0))
+    dg.add_pass("near", "i", pos=(0, 1))
+    dg.add_pass("far", "near", pos=(0, 9))
+    hits = long_edges(dg, max_len=1)
+    assert len(hits) == 1
+    assert hits[0][0] == "near" and hits[0][1] == "far"
+    assert long_edges(dg, max_len=10) == []
+
+
+def test_long_edges_dims_filter() -> None:
+    dg = DependenceGraph()
+    dg.add_input("i", pos=(0, 0))
+    dg.add_pass("p", "i", pos=(0, 0))
+    dg.add_pass("q", "p", pos=(9, 0))
+    assert long_edges(dg, dims=(1,)) == []
+    assert len(long_edges(dg, dims=(0,))) == 1

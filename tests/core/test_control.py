@@ -1,0 +1,63 @@
+"""Tests for the control-complexity census."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.transitive_closure import tc_regular
+from repro.core.control import control_complexity
+from repro.core.ggraph import GGraph, group_by_columns
+from repro.core.gsets import make_linear_gsets, make_mesh_gsets, schedule_gsets
+
+
+@pytest.fixture(scope="module")
+def gg12():
+    return GGraph(tc_regular(12), group_by_columns)
+
+
+def test_linear_contexts_bounded(gg12) -> None:
+    """Each linear cell needs only a handful of contexts, constant in n."""
+    plan = make_linear_gsets(gg12, 4)
+    rep = control_complexity(plan, schedule_gsets(plan))
+    assert rep.geometry == "linear"
+    assert rep.max_per_cell <= 4  # interior / left-end / right-end / idle
+    gg_large = GGraph(tc_regular(16), group_by_columns)
+    plan_large = make_linear_gsets(gg_large, 4)
+    rep_large = control_complexity(plan_large, schedule_gsets(plan_large))
+    assert rep_large.max_per_cell == rep.max_per_cell  # n-independent
+
+
+def test_packed_linear_is_simplest(gg12) -> None:
+    """Full packed sets: every cell sees the same few contexts."""
+    gg = GGraph(tc_regular(11), group_by_columns)  # m | n+1
+    plan = make_linear_gsets(gg, 4, aligned=False)
+    rep = control_complexity(plan, schedule_gsets(plan))
+    assert rep.set_shapes <= 4
+    assert rep.max_per_cell <= 3
+
+
+def test_mesh_contexts_and_shapes(gg12) -> None:
+    plan = make_mesh_gsets(gg12, 4)
+    rep = control_complexity(plan, schedule_gsets(plan))
+    assert rep.geometry == "mesh"
+    assert rep.max_per_cell >= 2
+    assert rep.set_shapes >= 2  # full blocks + triangular boundaries
+
+
+def test_per_cell_covers_every_cell(gg12) -> None:
+    plan = make_linear_gsets(gg12, 4)
+    rep = control_complexity(plan, schedule_gsets(plan))
+    assert set(rep.per_cell) == {0, 1, 2, 3}
+    assert rep.distinct_total >= 1
+    assert rep.mean_per_cell <= rep.max_per_cell
+
+
+def test_empty_schedule() -> None:
+    from repro.core.gsets import GSetPlan
+
+    gg = GGraph(tc_regular(5), group_by_columns)
+    plan = GSetPlan(gg=gg, gsets=[], geometry="linear", m=2, shape=(1, 2))
+    rep = control_complexity(plan, [])
+    assert rep.max_per_cell == 0
+    assert rep.mean_per_cell == 0.0
+    assert rep.set_shapes == 0

@@ -1,0 +1,121 @@
+"""Tests for the functional graph interpreter."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.evaluate import OPCODE_SEMANTICS, evaluate, evaluate_full
+from repro.core.graph import DependenceGraph, GraphError, NodeKind, port
+from repro.core.semiring import BOOLEAN, MIN_PLUS, REAL
+
+
+def test_mac_boolean() -> None:
+    dg = DependenceGraph()
+    dg.add_input("a")
+    dg.add_input("b")
+    dg.add_input("c")
+    dg.add_op("m", "mac", {"a": "a", "b": "b", "c": "c"})
+    dg.add_output("o", "m")
+    out = evaluate(dg, {"a": False, "b": True, "c": True})
+    assert out["o"] is True
+    out = evaluate(dg, {"a": False, "b": True, "c": False})
+    assert out["o"] is False
+
+
+def test_mac_min_plus() -> None:
+    dg = DependenceGraph()
+    for nid in ("a", "b", "c"):
+        dg.add_input(nid)
+    dg.add_op("m", "mac", {"a": "a", "b": "b", "c": "c"})
+    dg.add_output("o", "m")
+    out = evaluate(dg, {"a": 7.0, "b": 2.0, "c": 3.0}, MIN_PLUS)
+    assert out["o"] == 5.0  # min(7, 2+3)
+
+
+@pytest.mark.parametrize(
+    "opcode,operands,expected",
+    [
+        ("add", {"a": 3.0, "b": 4.0}, 7.0),
+        ("sub", {"a": 3.0, "b": 4.0}, -1.0),
+        ("mul", {"a": 3.0, "b": 4.0}, 12.0),
+        ("div", {"a": 8.0, "b": 4.0}, 2.0),
+        ("msub", {"a": 10.0, "b": 2.0, "c": 3.0}, 4.0),
+        ("neg", {"a": 5.0}, -5.0),
+        ("recip", {"a": 4.0}, 0.25),
+    ],
+)
+def test_field_opcodes(opcode: str, operands: dict, expected: float) -> None:
+    dg = DependenceGraph()
+    for nid in operands:
+        dg.add_input(nid)
+    dg.add_op("op", opcode, {k: k for k in operands})
+    dg.add_output("o", "op")
+    out = evaluate(dg, operands, REAL)
+    assert out["o"] == pytest.approx(expected)
+
+
+def test_rotation_opcodes_annihilate() -> None:
+    dg = DependenceGraph()
+    for nid in ("x", "y"):
+        dg.add_input(nid)
+    dg.add_op("g", "rotg", {"a": "x", "b": "y"})
+    dg.add_op("r1", "rota", {"a": "x", "b": "y", "r": "g"})
+    dg.add_op("r2", "rotb", {"a": "x", "b": "y", "r": port("r1", "r")})
+    dg.add_output("top", "r1")
+    dg.add_output("bot", "r2")
+    out = evaluate(dg, {"x": 3.0, "y": 4.0}, REAL)
+    assert out["top"] == pytest.approx(5.0)  # hypot(3, 4)
+    assert out["bot"] == pytest.approx(0.0)  # annihilated
+
+
+def test_rotg_zero_vector() -> None:
+    fn = OPCODE_SEMANTICS["rotg"]
+    assert fn(REAL, a=0.0, b=0.0) == (1.0, 0.0)
+
+
+def test_pass_delay_const_chain() -> None:
+    dg = DependenceGraph()
+    dg.add_const("c", 42)
+    dg.add_pass("p", "c")
+    dg.add_delay("d", "p")
+    dg.add_output("o", "d")
+    assert evaluate(dg, {})["o"] == 42
+
+
+def test_forwarding_ports_carry_operands() -> None:
+    dg = DependenceGraph()
+    for nid in ("a", "b", "c"):
+        dg.add_input(nid)
+    dg.add_op("m", "mac", {"a": "a", "b": "b", "c": "c"})
+    dg.add_output("fwd_b", port("m", "b"))
+    dg.add_output("fwd_c", port("m", "c"))
+    out = evaluate(dg, {"a": False, "b": True, "c": False})
+    assert out["fwd_b"] is True
+    assert out["fwd_c"] is False
+
+
+def test_missing_input_raises() -> None:
+    dg = DependenceGraph()
+    dg.add_input("x")
+    dg.add_output("o", "x")
+    with pytest.raises(GraphError, match="no value supplied"):
+        evaluate(dg, {})
+
+
+def test_evaluate_full_exposes_every_node() -> None:
+    dg = DependenceGraph()
+    dg.add_input("x")
+    dg.add_pass("p", "x")
+    dg.add_output("o", "p")
+    table = evaluate_full(dg, {"x": 5})
+    assert table["x"]["out"] == 5
+    assert table["p"]["out"] == 5
+    assert table["o"]["out"] == 5
+
+
+def test_all_opcodes_have_semantics() -> None:
+    from repro.core.graph import OP_ROLES
+
+    assert set(OP_ROLES) == set(OPCODE_SEMANTICS)

@@ -1,0 +1,146 @@
+"""Tests for G-graphs and grouping strategies (Figs. 5-6, 17, 22)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.transitive_closure import (
+    expected_computed_ops,
+    expected_regular_slots,
+    tc_regular,
+    tc_unidirectional,
+)
+from repro.algorithms.lu import lu_ggraph
+from repro.core.ggraph import (
+    GGraph,
+    GroupingError,
+    group_by_blocks,
+    group_by_columns,
+    group_by_diagonals,
+    group_by_rows,
+)
+from repro.core.graph import DependenceGraph, NodeKind
+
+
+class TestFig17GGraph:
+    """The transitive-closure G-graph (diagonal-path grouping)."""
+
+    def test_shape(self, tc_gg8) -> None:
+        n = 8
+        assert tc_gg8.grid_shape() == (n, n + 1)
+        assert len(tc_gg8) == n * (n + 1)
+
+    def test_uniform_time_n(self, tc_gg8) -> None:
+        assert tc_gg8.is_uniform_time()
+        assert all(gn.comp_time == 8 for gn in tc_gg8.gnodes.values())
+
+    def test_total_and_useful_slots(self, tc_gg8) -> None:
+        n = 8
+        assert tc_gg8.total_slots() == expected_regular_slots(n)
+        assert tc_gg8.total_useful() == expected_computed_ops(n)
+
+    def test_single_communication_path(self, tc_gg8) -> None:
+        """G-edges: right neighbour and down-left only (Fig. 17)."""
+        assert set(tc_gg8.edge_deltas()) == {(0, 1), (1, -1)}
+        assert tc_gg8.is_nearest_neighbour()
+
+    def test_row_and_col_times(self, tc_gg8) -> None:
+        assert tc_gg8.row_times(0) == (8,) * 9
+        assert tc_gg8.col_times(0) == (8,) * 8
+
+    def test_member_order_matches_chain_order(self, tc_gg8) -> None:
+        """Slots inside a column G-node execute top to bottom."""
+        for gid in [(0, 0), (3, 4), (7, 8)]:
+            members = tc_gg8.gnodes[gid].members
+            rows = [tc_gg8.dg.pos(nid)[1] for nid in members]
+            assert rows == sorted(rows)
+
+    def test_tags_census(self, tc_gg8) -> None:
+        delay_col = tc_gg8.gnodes[(0, 8)]
+        assert delay_col.tags == {"delay": 8}
+        interior = tc_gg8.gnodes[(0, 3)]
+        assert interior.tags.get("compute", 0) > 0
+
+    def test_asap_times_monotone(self, tc_gg8) -> None:
+        asap = tc_gg8.asap_times()
+        assert asap[(0, 0)] == 0
+        for (r, c), t in asap.items():
+            for pred in tc_gg8.predecessors((r, c)):
+                assert asap[pred] < t
+
+
+class TestGroupingAlternatives:
+    """Fig. 6: different groupings give different G-graph properties."""
+
+    def test_rows_grouping_long_edges(self) -> None:
+        gg = GGraph(tc_regular(6), group_by_rows)
+        deltas = set(gg.edge_deltas())
+        assert not gg.is_nearest_neighbour()  # the (1, n-1) wrap edges
+        assert (1, 5) in deltas
+
+    def test_diagonal_grouping_cyclic(self) -> None:
+        with pytest.raises(GroupingError, match="cyclic"):
+            GGraph(tc_regular(6), group_by_diagonals(7))
+
+    def test_block_grouping(self) -> None:
+        gg = GGraph(tc_regular(6), group_by_blocks(2, 2))
+        assert sum(gn.comp_time for gn in gg.gnodes.values()) == 6 * 6 * 7
+        assert max(gn.comp_time for gn in gg.gnodes.values()) == 4
+
+    def test_block_grouping_rejects_bad_dims(self) -> None:
+        with pytest.raises(ValueError, match=">= 1"):
+            group_by_blocks(0, 2)
+
+    def test_unregularized_graph_groups_with_irregular_edges(self) -> None:
+        gg = GGraph(tc_unidirectional(6), group_by_columns)
+        # Without the delay column the corner wrap shows up as a long edge.
+        assert not gg.is_nearest_neighbour()
+
+
+class TestVaryingTimes:
+    """Sec. 4.3: LU-style monotone computation times."""
+
+    def test_lu_row_uniform_level_decreasing(self) -> None:
+        gg = lu_ggraph(7)
+        times = [gg.row_times(k) for k in gg.rows]
+        for row in times:
+            assert len(set(row)) == 1  # uniform along the path
+        firsts = [row[0] for row in times]
+        assert firsts == sorted(firsts, reverse=True)  # decreasing levels
+        assert not gg.is_uniform_time()
+
+
+class TestGroupingValidation:
+    def test_unassigned_slot_node_rejected(self) -> None:
+        dg = DependenceGraph()
+        dg.add_input("x", pos=(0, 0, 0))
+        dg.add_pass("p", "x", pos=(0, 0, 1))
+        with pytest.raises(GroupingError, match="not assigned"):
+            GGraph(dg, lambda g, nid: None)
+
+    def test_bad_gid_rejected(self) -> None:
+        dg = DependenceGraph()
+        dg.add_input("x")
+        dg.add_pass("p", "x")
+        with pytest.raises(GroupingError, match=r"\(row, col\)"):
+            GGraph(dg, lambda g, nid: (1, 2, 3) if g.kind(nid).occupies_slot else None)
+
+    def test_missing_position_rejected(self) -> None:
+        dg = DependenceGraph()
+        dg.add_input("x")
+        dg.add_pass("p", "x")  # no pos
+        with pytest.raises(GroupingError, match="lacks"):
+            GGraph(dg, group_by_columns)
+
+    def test_mapping_assignment_accepted(self) -> None:
+        dg = DependenceGraph()
+        dg.add_input("x", pos=(0, 0, 0))
+        dg.add_pass("p", "x", pos=(0, 0, 0))
+        dg.add_pass("q", "p", pos=(0, 0, 1))
+        gg = GGraph(dg, {"p": (0, 0), "q": (0, 1)})
+        assert gg.grid_shape() == (1, 2)
+        assert gg.gnodes[(0, 0)].members == ("p",)
+
+    def test_repr(self, tc_gg8) -> None:
+        text = repr(tc_gg8)
+        assert "72 G-nodes" in text and "8x9" in text

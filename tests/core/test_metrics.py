@@ -1,0 +1,178 @@
+"""Tests for the Sec. 4.1/4.2 performance measures."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.algorithms.transitive_closure import tc_regular
+from repro.core.ggraph import GGraph, group_by_columns
+from repro.core.gsets import make_linear_gsets, make_mesh_gsets, schedule_gsets
+from repro.core.metrics import (
+    evaluate_schedule,
+    memory_connections,
+    schedule_io_profile,
+    schedule_memory_traffic,
+    schedule_total_time,
+    tc_gset_count,
+    tc_io_bandwidth,
+    tc_linear_throughput,
+    tc_mesh_throughput,
+    tc_utilization,
+)
+
+
+def tc_gg(n: int) -> GGraph:
+    return GGraph(tc_regular(n), group_by_columns)
+
+
+class TestClosedForms:
+    def test_throughput_formula(self) -> None:
+        assert tc_linear_throughput(10, 5) == Fraction(5, 100 * 11)
+        assert tc_mesh_throughput(10, 4) == tc_linear_throughput(10, 4)
+
+    def test_utilization_tends_to_one(self) -> None:
+        assert tc_utilization(3) == Fraction(2, 12)
+        us = [float(tc_utilization(n)) for n in (5, 10, 50, 500)]
+        assert us == sorted(us)
+        assert us[-1] > 0.99
+
+    def test_io_bandwidth(self) -> None:
+        assert tc_io_bandwidth(10, 5) == Fraction(1, 2)
+
+    def test_gset_count(self) -> None:
+        assert tc_gset_count(9, 5) == 18
+
+    def test_memory_connections(self) -> None:
+        assert memory_connections("linear", 7) == 8
+        assert memory_connections("mesh", 9) == 6
+        with pytest.raises(ValueError, match="square"):
+            memory_connections("mesh", 5)
+        with pytest.raises(ValueError, match="unknown geometry"):
+            memory_connections("hypercube", 8)
+
+
+class TestScheduleMeasures:
+    def test_packed_matches_paper_exactly_when_divisible(self) -> None:
+        """m | n+1 and packed sets: the paper's closed forms hold exactly."""
+        for n, m in [(9, 5), (11, 4), (7, 8)]:
+            plan = make_linear_gsets(tc_gg(n), m, aligned=False)
+            order = schedule_gsets(plan, "vertical")
+            rep = evaluate_schedule(plan, order)
+            assert rep.throughput == tc_linear_throughput(n, m)
+            assert rep.utilization == tc_utilization(n)
+            assert rep.occupancy == 1
+            assert rep.overhead == 0
+
+    def test_aligned_converges_to_paper(self) -> None:
+        """Aligned (paper) scheme: boundary loss vanishes as m/n -> 0."""
+        m = 3
+        gaps = []
+        for n in (8, 14, 20):
+            plan = make_linear_gsets(tc_gg(n), m, aligned=True)
+            order = schedule_gsets(plan, "vertical")
+            rep = evaluate_schedule(plan, order)
+            gaps.append(float(tc_utilization(n)) - float(rep.utilization))
+        assert all(g > 0 for g in gaps)
+        assert gaps == sorted(gaps, reverse=True)
+
+    def test_mesh_same_throughput_class_as_linear(self) -> None:
+        n, m = 8, 4
+        lin = make_linear_gsets(tc_gg(n), m, aligned=False)
+        mesh = make_mesh_gsets(tc_gg(n), m)
+        rl = evaluate_schedule(lin, schedule_gsets(lin))
+        rm = evaluate_schedule(mesh, schedule_gsets(mesh))
+        # Same class up to boundary-set effects (partial linear blocks vs
+        # the mesh's triangular sets): both within 1.5x of the ideal.
+        ideal = n * n * (n + 1) // m
+        assert ideal <= rl.total_time <= 1.5 * ideal
+        assert ideal <= rm.total_time <= 1.5 * ideal
+
+    def test_total_time_with_overheads(self, tc_gg8) -> None:
+        plan = make_linear_gsets(tc_gg8, 3)
+        order = schedule_gsets(plan)
+        base, _ = schedule_total_time(tc_gg8, order)
+        total, ovh = schedule_total_time(tc_gg8, order, [2] * len(order))
+        assert total == base + 2 * len(order)
+        assert ovh == 2 * len(order)
+        with pytest.raises(ValueError, match="one overhead entry"):
+            schedule_total_time(tc_gg8, order, [1, 2])
+
+    def test_io_profile_only_top_row_consumes(self, tc_gg8) -> None:
+        plan = make_linear_gsets(tc_gg8, 3)
+        order = schedule_gsets(plan, "vertical")
+        events, total = schedule_io_profile(plan, order)
+        assert total == 8 * 8  # n^2 distinct input words
+        input_sets = {s.sid for s in plan.gsets if s.sid[0] == 0}
+        assert len(events) == len(input_sets)
+
+    def test_io_steady_rate_near_m_over_n(self) -> None:
+        """Aligned vertical scheduling sustains ~ m/n host rate (Fig. 21)."""
+        n, m = 16, 4
+        plan = make_linear_gsets(tc_gg(n), m, aligned=True)
+        order = schedule_gsets(plan, "vertical")
+        rep = evaluate_schedule(plan, order)
+        paper = tc_io_bandwidth(n, m)
+        assert Fraction(1, 2) * paper <= rep.io_steady <= 2 * paper
+
+    def test_memory_traffic_counts_crossing_values(self, tc_gg8) -> None:
+        plan = make_linear_gsets(tc_gg8, 3)
+        order = schedule_gsets(plan)
+        words = schedule_memory_traffic(plan, order)
+        assert words > 0
+        # Single G-set per... a plan with all nodes in huge sets moves less.
+        big = make_linear_gsets(tc_gg8, 9, aligned=False)
+        big_words = schedule_memory_traffic(big, schedule_gsets(big))
+        assert big_words < words
+
+    def test_report_row_keys(self, tc_gg8) -> None:
+        plan = make_linear_gsets(tc_gg8, 3)
+        rep = evaluate_schedule(plan, schedule_gsets(plan))
+        row = rep.row()
+        for key in ("geometry", "m", "T", "U", "occupancy", "D_IO", "mem_ports"):
+            assert key in row
+
+
+class TestLossDecomposition:
+    """The Fig. 22 occupancy identity, unit level."""
+
+    def test_tc_uniform_has_zero_mixing(self, tc_gg8) -> None:
+        from repro.core.metrics import boundary_loss, time_mixing_loss
+
+        plan = make_linear_gsets(tc_gg8, 3)
+        order = schedule_gsets(plan)
+        assert time_mixing_loss(plan, order) == 0
+
+    def test_identity_occ_plus_losses(self) -> None:
+        from repro.algorithms.lu import lu_ggraph
+        from repro.core.gsets import make_mesh_gsets
+        from repro.core.metrics import boundary_loss, time_mixing_loss
+
+        gg = lu_ggraph(9)
+        for plan in (make_linear_gsets(gg, 3), make_mesh_gsets(gg, 4)):
+            order = schedule_gsets(plan)
+            rep = evaluate_schedule(plan, order)
+            total = (
+                rep.occupancy
+                + time_mixing_loss(plan, order)
+                + boundary_loss(plan, order)
+            )
+            assert total == 1
+
+    def test_mesh_blocks_mix_times_on_lu(self) -> None:
+        from repro.algorithms.lu import lu_ggraph
+        from repro.core.gsets import make_mesh_gsets
+        from repro.core.metrics import time_mixing_loss
+
+        gg = lu_ggraph(9)
+        plan = make_mesh_gsets(gg, 4)
+        order = schedule_gsets(plan)
+        assert time_mixing_loss(plan, order) > 0
+
+    def test_empty_order_is_zero(self, tc_gg8) -> None:
+        from repro.core.metrics import boundary_loss, time_mixing_loss
+
+        plan = make_linear_gsets(tc_gg8, 3)
+        assert time_mixing_loss(plan, []) == 0
+        assert boundary_loss(plan, []) == 0

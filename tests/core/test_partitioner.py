@@ -1,0 +1,85 @@
+"""End-to-end tests for the partitioning façade."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import partition, partition_transitive_closure
+from repro.algorithms.transitive_closure import tc_regular
+from repro.algorithms.warshall import (
+    floyd_warshall_reference,
+    random_adjacency,
+    warshall,
+)
+from repro.core.ggraph import group_by_columns
+from repro.core.semiring import MIN_PLUS
+
+
+class TestTurnkeyTC:
+    def test_linear_end_to_end(self) -> None:
+        impl = partition_transitive_closure(n=10, m=4)
+        assert impl.report.geometry == "linear"
+        a = random_adjacency(10, seed=3)
+        assert np.array_equal(impl.run(a), warshall(a))
+
+    def test_mesh_end_to_end(self) -> None:
+        impl = partition_transitive_closure(n=8, m=4, geometry="mesh")
+        assert impl.report.geometry == "mesh"
+        a = random_adjacency(8, seed=4)
+        assert np.array_equal(impl.run(a), warshall(a))
+
+    def test_simulation_is_clean(self) -> None:
+        impl = partition_transitive_closure(n=9, m=3)
+        res = impl.simulate(random_adjacency(9, seed=5))
+        assert res.ok
+        assert res.memory_words > 0
+        assert res.useful == 9 * 8 * 7
+
+    def test_min_plus_shortest_paths(self) -> None:
+        """The extension: the same array computes Floyd-Warshall."""
+        n = 7
+        impl = partition_transitive_closure(n=n, m=4, semiring=MIN_PLUS)
+        rng = np.random.default_rng(0)
+        w = np.where(rng.random((n, n)) < 0.4,
+                     rng.integers(1, 9, (n, n)).astype(float), np.inf)
+        got = impl.run(w)
+        assert np.array_equal(got, floyd_warshall_reference(w))
+
+    @given(
+        n=st.integers(4, 8),
+        m=st.integers(2, 6),
+        seed=st.integers(0, 50),
+        geometry=st.sampled_from(["linear", "mesh"]),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_any_configuration_correct(self, n, m, seed, geometry) -> None:
+        if geometry == "mesh":
+            side = int(m**0.5)
+            m = max(1, side) ** 2
+        impl = partition_transitive_closure(n=n, m=m, geometry=geometry)
+        a = random_adjacency(n, 0.35, seed=seed)
+        assert np.array_equal(impl.run(a), warshall(a))
+
+    def test_unknown_geometry(self) -> None:
+        with pytest.raises(ValueError, match="unknown geometry"):
+            partition_transitive_closure(n=6, m=4, geometry="torus")
+
+
+class TestGenericPartition:
+    def test_partition_arbitrary_graph(self) -> None:
+        impl = partition(tc_regular(7), group_by_columns, m=3)
+        assert impl.report.m == 3
+        assert impl.gg.grid_shape() == (7, 8)
+
+    def test_policies_accepted(self) -> None:
+        for policy in ("vertical", "horizontal", "wavefront"):
+            impl = partition(tc_regular(6), group_by_columns, m=3, policy=policy)
+            assert impl.report.total_time > 0
+
+    def test_packed_option(self) -> None:
+        aligned = partition(tc_regular(9), group_by_columns, m=5, aligned=True)
+        packed = partition(tc_regular(9), group_by_columns, m=5, aligned=False)
+        assert packed.report.total_time <= aligned.report.total_time

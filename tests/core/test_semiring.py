@@ -1,0 +1,152 @@
+"""Tests for the semiring algebra and the closure oracle."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.semiring import (
+    BOOLEAN,
+    COUNTING,
+    MAX_MIN,
+    MIN_PLUS,
+    REAL,
+    SEMIRINGS,
+    Semiring,
+    closure_reference,
+)
+
+IDEMPOTENT = [BOOLEAN, MIN_PLUS, MAX_MIN]
+
+
+def _bool_values():
+    return st.booleans()
+
+
+def _minplus_values():
+    return st.one_of(st.just(float("inf")), st.integers(0, 50).map(float))
+
+
+VALUE_STRATEGIES = {
+    "boolean": _bool_values(),
+    "min_plus": _minplus_values(),
+    "max_min": st.integers(0, 50).map(float),
+    "counting": st.integers(0, 100),
+}
+
+
+@pytest.mark.parametrize("sr", IDEMPOTENT, ids=lambda s: s.name)
+class TestIdempotentLaws:
+    @given(data=st.data())
+    def test_add_idempotent(self, sr: Semiring, data) -> None:
+        a = data.draw(VALUE_STRATEGIES[sr.name])
+        assert sr.add(a, a) == a
+
+    @given(data=st.data())
+    def test_identities(self, sr: Semiring, data) -> None:
+        a = data.draw(VALUE_STRATEGIES[sr.name])
+        assert sr.add(a, sr.zero) == a
+        assert sr.mul(a, sr.one) == a
+
+    @given(data=st.data())
+    def test_mac_collapses_on_one(self, sr: Semiring, data) -> None:
+        # The superfluous-node argument: a (+) (a (x) one) == a.
+        a = data.draw(VALUE_STRATEGIES[sr.name])
+        assert sr.mac(a, a, sr.one) == a
+        assert sr.mac(a, sr.one, a) == a
+
+
+@pytest.mark.parametrize("sr", list(SEMIRINGS.values()), ids=lambda s: s.name)
+@given(data=st.data())
+@settings(max_examples=30)
+def test_semiring_axioms(sr: Semiring, data) -> None:
+    """Associativity, commutativity of (+), distributivity (scalar)."""
+    strat = VALUE_STRATEGIES.get(sr.name, st.integers(0, 20).map(float))
+    a, b, c = (data.draw(strat) for _ in range(3))
+    assert sr.add(a, b) == sr.add(b, a)
+    assert sr.add(sr.add(a, b), c) == sr.add(a, sr.add(b, c))
+    assert sr.mul(sr.mul(a, b), c) == pytest.approx(sr.mul(a, sr.mul(b, c)))
+    lhs = sr.mul(a, sr.add(b, c))
+    rhs = sr.add(sr.mul(a, b), sr.mul(a, c))
+    assert lhs == pytest.approx(rhs)
+
+
+def test_superfluous_pruning_support_flags() -> None:
+    assert BOOLEAN.supports_superfluous_pruning()
+    assert MIN_PLUS.supports_superfluous_pruning()
+    assert MAX_MIN.supports_superfluous_pruning()
+    assert not COUNTING.supports_superfluous_pruning()
+    assert not REAL.supports_superfluous_pruning()
+
+
+def test_matrix_forces_diagonal() -> None:
+    a = np.zeros((3, 3), dtype=bool)
+    m = BOOLEAN.matrix(a)
+    assert m[0, 0] and m[1, 1] and m[2, 2]
+    w = MIN_PLUS.matrix(np.full((2, 2), 5.0))
+    assert w[0, 0] == 0.0 and w[1, 1] == 0.0
+
+
+def test_matrix_rejects_non_square() -> None:
+    with pytest.raises(ValueError, match="square"):
+        BOOLEAN.matrix(np.zeros((2, 3), dtype=bool))
+
+
+def test_semiring_matmul_boolean() -> None:
+    a = np.array([[1, 0], [1, 1]], dtype=bool)
+    b = np.array([[0, 1], [1, 0]], dtype=bool)
+    got = BOOLEAN.matmul(a, b)
+    assert np.array_equal(got, (a.astype(int) @ b.astype(int)) > 0)
+
+
+def test_semiring_matmul_min_plus() -> None:
+    inf = np.inf
+    a = np.array([[0.0, 2.0], [inf, 0.0]])
+    got = MIN_PLUS.matmul(a, a)
+    expected = np.array([[0.0, 2.0], [inf, 0.0]])
+    assert np.array_equal(got, expected)
+
+
+def test_semiring_matmul_shape_mismatch() -> None:
+    with pytest.raises(ValueError, match="mismatch"):
+        BOOLEAN.matmul(np.zeros((2, 3), dtype=bool), np.zeros((2, 3), dtype=bool))
+
+
+def test_closure_reference_boolean_small() -> None:
+    # 0 -> 1 -> 2 implies 0 -> 2.
+    a = np.zeros((3, 3), dtype=bool)
+    a[0, 1] = a[1, 2] = True
+    c = closure_reference(a)
+    assert c[0, 2]
+    assert not c[2, 0]
+
+
+def test_closure_reference_min_plus_is_shortest_path() -> None:
+    inf = np.inf
+    w = np.array(
+        [
+            [0.0, 1.0, inf],
+            [inf, 0.0, 1.0],
+            [inf, inf, 0.0],
+        ]
+    )
+    c = closure_reference(w, MIN_PLUS)
+    assert c[0, 2] == 2.0
+
+
+def test_random_matrix_has_diagonal(rng) -> None:
+    for sr in (BOOLEAN, MIN_PLUS, MAX_MIN, COUNTING):
+        m = sr.random_matrix(6, rng)
+        assert np.all(np.diag(m) == sr.diagonal)
+
+
+@given(n=st.integers(2, 7), seed=st.integers(0, 500))
+@settings(max_examples=25, deadline=None)
+def test_closure_reference_idempotent_fixpoint(n: int, seed: int) -> None:
+    """Closing a closed matrix changes nothing (A+ is a fixpoint)."""
+    rng = np.random.default_rng(seed)
+    a = BOOLEAN.random_matrix(n, rng)
+    c = closure_reference(a)
+    assert np.array_equal(closure_reference(c), c)

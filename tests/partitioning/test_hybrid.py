@@ -1,0 +1,51 @@
+"""Tests for the hybrid cut-and-pile + coalescing scheme."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.transitive_closure import tc_regular
+from repro.core.ggraph import GGraph, group_by_columns
+from repro.partitioning.coalescing import coalesce_by_strips
+from repro.partitioning.hybrid import hybrid_partition
+
+
+@pytest.fixture(scope="module")
+def gg16():
+    return GGraph(tc_regular(16), group_by_columns)
+
+
+def test_storage_falls_with_piles(gg16) -> None:
+    """The paper's conjecture: piling first reduces coalescing storage."""
+    pure = coalesce_by_strips(gg16, 4).max_local_storage
+    storages = [hybrid_partition(gg16, 4, p).max_local_storage for p in (2, 4, 8)]
+    assert all(s < pure for s in storages)
+    assert storages == sorted(storages, reverse=True)
+
+
+def test_external_traffic_grows_with_piles(gg16) -> None:
+    externals = [hybrid_partition(gg16, 4, p).external_words for p in (1, 2, 4, 8)]
+    assert externals[0] == 0  # one pile == pure coalescing
+    assert externals == sorted(externals)
+
+
+def test_one_pile_equals_pure_coalescing(gg16) -> None:
+    pure = coalesce_by_strips(gg16, 4)
+    h = hybrid_partition(gg16, 4, 1)
+    assert h.max_local_storage == pure.max_local_storage
+    assert h.total_time == pure.total_time
+    assert h.external_words == 0
+
+
+def test_pile_results_cover_all_gnodes(gg16) -> None:
+    h = hybrid_partition(gg16, 4, 4)
+    covered = sum(len(r.cell_of) for r in h.pile_results)
+    assert covered == len(gg16.gnodes)
+    assert 0 < float(h.occupancy) <= 1
+
+
+def test_validation(gg16) -> None:
+    with pytest.raises(ValueError, match="at least one"):
+        hybrid_partition(gg16, 4, 0)
+    with pytest.raises(ValueError, match="cannot cut"):
+        hybrid_partition(gg16, 4, 999)

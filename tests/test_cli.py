@@ -1,0 +1,68 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv: str) -> str:
+    assert main(list(argv)) == 0
+    return capsys.readouterr().out
+
+
+def test_stages(capsys) -> None:
+    out = run_cli(capsys, "stages", "--n", "5")
+    assert "regular" in out and "unidirectional" in out
+    assert "broadcasts" in out
+
+
+def test_partition_with_simulation(capsys) -> None:
+    out = run_cli(
+        capsys, "partition", "--n", "8", "--m", "3", "--simulate", "--seed", "2"
+    )
+    assert "correct=True" in out
+    assert "violations=0" in out
+
+
+def test_partition_mesh_packed(capsys) -> None:
+    out = run_cli(capsys, "partition", "--n", "8", "--m", "4",
+                  "--geometry", "mesh")
+    assert "mesh" in out
+
+
+def test_ggraph_variants(capsys) -> None:
+    for algo in ("tc", "lu", "faddeev", "givens"):
+        out = run_cli(capsys, "ggraph", "--algorithm", algo, "--n", "5")
+        assert "G-nodes" in out
+
+
+def test_schedule(capsys) -> None:
+    out = run_cli(capsys, "schedule", "--n", "8", "--m", "3")
+    assert "->" in out
+
+
+def test_level_render(capsys) -> None:
+    out = run_cli(capsys, "level", "--n", "5", "--k", "1")
+    assert "level k=1" in out
+    assert "D" in out  # the delay column
+
+
+def test_level_out_of_range() -> None:
+    assert main(["level", "--n", "5", "--k", "9"]) == 2
+
+
+def test_fixed(capsys) -> None:
+    out = run_cli(capsys, "fixed", "--n", "6")
+    assert "II=6" in out and "correct=True" in out
+
+
+def test_parser_requires_command() -> None:
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_unknown_command_rejected() -> None:
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["teleport"])

@@ -1,0 +1,25 @@
+"""Smoke tests: every shipped example must run end to end."""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(path: Path, capsys, monkeypatch) -> None:
+    monkeypatch.setattr(sys, "argv", [str(path)])
+    runpy.run_path(str(path), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "OK" in out or "Conclusion" in out
+
+
+def test_examples_exist() -> None:
+    assert len(EXAMPLES) >= 3, "the repository promises at least three examples"
+    names = {p.stem for p in EXAMPLES}
+    assert "quickstart" in names

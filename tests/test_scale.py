@@ -1,0 +1,52 @@
+"""Moderate-scale end-to-end runs (the sizes a paper reader would try).
+
+These are deliberately larger than the unit tests — n up to 24 puts
+~14k primitive firings through the cycle simulator — and bound the wall
+time so a performance regression in the core loops is caught by the
+ordinary test run, not just the benchmarks.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import partition_transitive_closure
+from repro.algorithms.transitive_closure import expected_regular_slots
+from repro.algorithms.warshall import random_adjacency, warshall
+
+
+@pytest.mark.parametrize("n,m,geometry", [(20, 4, "linear"), (24, 4, "mesh")])
+def test_moderate_scale_end_to_end(n, m, geometry) -> None:
+    t0 = time.perf_counter()
+    impl = partition_transitive_closure(n=n, m=m, geometry=geometry)
+    a = random_adjacency(n, 0.25, seed=n)
+    res = impl.simulate(a)
+    elapsed = time.perf_counter() - t0
+    assert res.ok
+    assert np.array_equal(res.output_matrix(n), warshall(a))
+    assert res.busy == expected_regular_slots(n)
+    assert impl.exec_plan.stall_cycles == 0
+    # ~14k firings must stay comfortably interactive.
+    assert elapsed < 20, f"end-to-end n={n} took {elapsed:.1f}s"
+
+
+def test_utilization_approaches_one_at_scale() -> None:
+    """Sec. 4.2: U -> 1; at n=29 (m | n+1) it is 0.869, exactly on formula."""
+    from repro.core.metrics import tc_utilization
+
+    impl = partition_transitive_closure(n=29, m=3, aligned=False)
+    assert impl.report.utilization == tc_utilization(29)
+    assert float(impl.report.utilization) > 0.85
+
+
+def test_large_graph_construction_linear_memory() -> None:
+    """Graph size is Theta(n^2 (n+1)) slot nodes, as designed."""
+    from repro.algorithms.transitive_closure import tc_regular
+    from repro.core.graph import NodeKind, node_counts
+
+    n = 24
+    c = node_counts(tc_regular(n))
+    assert c[NodeKind.OP] + c[NodeKind.DELAY] == expected_regular_slots(n)

@@ -1,0 +1,105 @@
+"""Tests for the ASCII renderings."""
+
+from __future__ import annotations
+
+from repro.algorithms.lu import lu_ggraph
+from repro.algorithms.transitive_closure import TC_STAGES, tc_regular
+from repro.core.ggraph import GGraph, group_by_columns
+from repro.core.gsets import make_linear_gsets, schedule_gsets
+from repro.viz import (
+    format_table,
+    render_ggraph_times,
+    render_level_grid,
+    render_schedule,
+    render_stage_table,
+)
+
+
+def test_format_table_alignment() -> None:
+    rows = [{"a": 1, "b": "xy"}, {"a": 222, "b": "z"}]
+    text = format_table(rows)
+    lines = text.splitlines()
+    assert len(lines) == 4  # header, rule, 2 rows
+    assert lines[0].split() == ["a", "b"]
+    assert all(len(line) == len(lines[0]) for line in lines[2:])
+
+
+def test_format_table_empty() -> None:
+    assert format_table([]) == "(empty)"
+
+
+def test_format_table_column_selection() -> None:
+    rows = [{"a": 1, "b": 2, "c": 3}]
+    text = format_table(rows, columns=["c", "a"])
+    assert "b" not in text.splitlines()[0]
+
+
+def test_format_table_floats_rounded() -> None:
+    assert "0.3333" in format_table([{"x": 1 / 3}])
+
+
+def test_render_ggraph_times_uniform() -> None:
+    gg = GGraph(tc_regular(5), group_by_columns)
+    text = render_ggraph_times(gg)
+    assert text.count("5") >= 30  # a 5x6 grid of fives
+    assert "k=  0" in text
+
+
+def test_render_ggraph_times_triangular() -> None:
+    text = render_ggraph_times(lu_ggraph(5))
+    lines = text.splitlines()
+    assert len(lines) == 4  # levels 0..3
+    # The triangular shape: later levels have leading blanks.
+    assert lines[-1].count("1") == 2
+
+
+def test_render_schedule_wraps() -> None:
+    gg = GGraph(tc_regular(6), group_by_columns)
+    plan = make_linear_gsets(gg, 3)
+    order = schedule_gsets(plan)
+    text = render_schedule(order, per_line=4)
+    assert "t   0:" in text
+    assert "->" in text
+    assert len(text.splitlines()) >= len(order) // 4
+
+
+def test_render_stage_table_columns() -> None:
+    text = render_stage_table({k: f(4) for k, f in TC_STAGES.items()})
+    header = text.splitlines()[0]
+    for col in ("stage", "broadcasts", "unidirectional", "stencils"):
+        assert col in header
+    assert "regular" in text
+
+
+def test_render_level_grid_legend() -> None:
+    text = render_level_grid(tc_regular(5), 2, 5)
+    body = "\n".join(text.splitlines()[1:])  # drop the header line
+    assert body.count("D") == 5  # the delay column
+    assert body.count("s") == 4  # the shifted diagonal
+    assert body.count("*") == 12  # (n-1)(n-2) compute cells
+    assert text.splitlines()[1].startswith("r")  # transmit row on top
+
+
+def test_render_level_grid_missing_level() -> None:
+    assert "no nodes" in render_level_grid(tc_regular(5), 99, 5)
+
+
+def test_render_gantt_window() -> None:
+    from repro.core.gsets import make_linear_gsets, schedule_gsets
+    from repro.arrays.plan import partitioned_plan
+    from repro.viz import render_gantt
+
+    dg = tc_regular(5)
+    gg = GGraph(dg, group_by_columns)
+    plan = make_linear_gsets(gg, 2)
+    ep = partitioned_plan(plan, schedule_gsets(plan))
+    text = render_gantt(ep, dg, start=0, width=30)
+    lines = text.splitlines()
+    assert lines[0].startswith("cycles 0..29")
+    assert len(lines) == 3  # header + 2 cells
+    body = "".join(lines[1:])
+    assert "#" in body and "." in body
+    # Every row fits the window.
+    for line in lines[1:]:
+        assert line.count("|") == 2
+        assert len(line.split("|")[1]) == 30
