@@ -7,12 +7,21 @@ saves it under ``benchmarks/out/<exp_id>.txt`` so EXPERIMENTS.md can refer
 to concrete artefacts.  The ``benchmark`` fixture times the dominant
 computation so ``pytest benchmarks/ --benchmark-only`` doubles as a
 performance regression harness for the library itself.
+
+Tables are additionally routed through a :class:`repro.obs.MetricsRegistry`
+(:data:`REGISTRY`), so every experiment also lands as machine-readable
+``benchmarks/out/<exp_id>.json`` — experiment id, title, structured rows
+when the caller passes them, and the registry snapshot of the run.
 """
 
 from __future__ import annotations
 
+import json
 import sys
 from pathlib import Path
+from typing import Mapping, Sequence
+
+from repro.obs import MetricsRegistry
 
 OUT_DIR = Path(__file__).parent / "out"
 
@@ -21,11 +30,48 @@ OUT_DIR = Path(__file__).parent / "out"
 N_DEFAULT = 12
 M_DEFAULT = 4
 
+#: One registry per harness run; every saved table is counted and sized
+#: here, and each ``<exp_id>.json`` embeds the snapshot taken at save time.
+REGISTRY = MetricsRegistry()
 
-def save_table(exp_id: str, title: str, body: str) -> str:
-    """Persist one experiment's table; echo it to stdout; return the text."""
+
+def save_table(
+    exp_id: str,
+    title: str,
+    body: str,
+    rows: Sequence[Mapping] | None = None,
+) -> str:
+    """Persist one experiment's table; echo it to stdout; return the text.
+
+    Writes ``<exp_id>.txt`` (human-readable, as always) and
+    ``<exp_id>.json`` (machine-readable).  Pass ``rows`` — the list of
+    dicts most benchmarks already format — to make the JSON carry the
+    actual data, not just the rendered text.
+    """
     OUT_DIR.mkdir(exist_ok=True)
     text = f"== {exp_id}: {title} ==\n{body}\n"
     (OUT_DIR / f"{exp_id}.txt").write_text(text)
+
+    REGISTRY.counter(
+        "repro_benchmark_tables_total", "tables saved by the harness"
+    ).inc()
+    REGISTRY.gauge(
+        "repro_benchmark_table_bytes", "rendered size of each table"
+    ).set(len(text), exp=exp_id)
+    if rows is not None:
+        REGISTRY.gauge(
+            "repro_benchmark_table_rows", "structured rows of each table"
+        ).set(len(rows), exp=exp_id)
+    payload = {
+        "exp_id": exp_id,
+        "title": title,
+        "rows": [dict(r) for r in rows] if rows is not None else None,
+        "body": body,
+        "metrics": REGISTRY.to_json(),
+    }
+    (OUT_DIR / f"{exp_id}.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True, default=repr)
+    )
+
     print(f"\n{text}", file=sys.stderr)
     return text

@@ -22,5 +22,5 @@ def test_fig18_linear_partitioned(benchmark):
             assert abs(r["U_measured"] - r["U_paper"]) < 1e-12
     save_table(
         "F18", "linear partitioned array: measured vs Sec. 4.2 formulas",
-        format_table(rows),
+        format_table(rows), rows=rows,
     )

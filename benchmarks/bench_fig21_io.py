@@ -18,4 +18,5 @@ def test_fig21_io_bandwidth(benchmark):
         assert r["avg_D_IO"] <= r["paper_m/n"]
         assert r["avg_D_IO"] > 0.5 * r["paper_m/n"]
         assert r["words"] == r["n"] ** 2
-    save_table("F21", "host bandwidth m/n with the R-block chain", format_table(rows))
+    save_table("F21", "host bandwidth m/n with the R-block chain",
+               format_table(rows), rows=rows)

@@ -52,5 +52,6 @@ def test_reference_vectorization(benchmark):
     assert speedups[-1] > 10
     assert speedups == sorted(speedups)
     save_table(
-        "A-PERF", "software-oracle vectorization (guide-driven)", format_table(rows)
+        "A-PERF", "software-oracle vectorization (guide-driven)",
+        format_table(rows), rows=rows,
     )

@@ -23,16 +23,20 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Any, Hashable, Mapping
+from typing import TYPE_CHECKING, Any, Hashable, Mapping
 
 import numpy as np
 
 from ..core.evaluate import OPCODE_SEMANTICS
 from ..core.graph import DependenceGraph, GraphError, NodeId, NodeKind
 from ..core.semiring import BOOLEAN, Semiring
+from ..obs.tracing import stage_span
 from .plan import ExecutionPlan
 
-__all__ = ["SimResult", "Violation", "simulate"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.probe import Probe
+
+__all__ = ["SimResult", "SimulationError", "Violation", "simulate"]
 
 
 @dataclass(frozen=True)
@@ -50,6 +54,19 @@ class Violation:
             f"{self.kind} violation at {self.node!r}.{self.role}: "
             f"producer {self.producer!r} late by {-self.slack} cycle(s)"
         )
+
+
+class SimulationError(GraphError):
+    """A strict-mode simulation stop, carrying the structured violation.
+
+    ``strict=True`` used to raise a bare :class:`GraphError` whose
+    message was the only record of what went wrong; callers (and the
+    tracer) now get the :class:`Violation` object on ``.violation``.
+    """
+
+    def __init__(self, violation: Violation) -> None:
+        super().__init__(str(violation))
+        self.violation = violation
 
 
 @dataclass
@@ -76,13 +93,26 @@ class SimResult:
 
     @property
     def utilization(self) -> Fraction:
-        """Useful (compute) cell-cycles over total capacity."""
-        return Fraction(self.useful, self.cells * self.makespan)
+        """Useful (compute) cell-cycles over total capacity.
+
+        ``Fraction(0)`` for degenerate runs (no cells or empty makespan),
+        matching :meth:`average_host_bandwidth`.
+        """
+        capacity = self.cells * self.makespan
+        if capacity <= 0:
+            return Fraction(0)
+        return Fraction(self.useful, capacity)
 
     @property
     def occupancy(self) -> Fraction:
-        """Busy cell-cycles (incl. transmit/delay slots) over capacity."""
-        return Fraction(self.busy, self.cells * self.makespan)
+        """Busy cell-cycles (incl. transmit/delay slots) over capacity.
+
+        ``Fraction(0)`` for degenerate runs, like :attr:`utilization`.
+        """
+        capacity = self.cells * self.makespan
+        if capacity <= 0:
+            return Fraction(0)
+        return Fraction(self.busy, capacity)
 
     def io_demand_curve(self) -> list[tuple[int, int]]:
         """Cumulative host words needed by each deadline cycle.
@@ -138,13 +168,20 @@ def simulate(
     inputs: Mapping[NodeId, Any],
     semiring: Semiring = BOOLEAN,
     strict: bool = False,
+    probe: "Probe | None" = None,
 ) -> SimResult:
     """Execute ``dg`` under ``plan`` and measure everything.
 
     Parameters
     ----------
     strict:
-        Raise on the first violation instead of collecting them.
+        Raise :class:`SimulationError` on the first violation instead of
+        collecting them.
+    probe:
+        Optional :class:`repro.obs.probe.Probe` receiving per-cycle
+        events (fires, operand reads classified by source, input
+        deadlines, violations).  ``None`` (the default) costs one
+        ``is not None`` check per event site — nothing else.
 
     Notes
     -----
@@ -172,6 +209,8 @@ def simulate(
         src, _ = ref
         src_kind = node_data[src]["kind"]
         if src_kind is NodeKind.CONST:
+            if probe is not None:
+                probe.on_operand(t, cell, nid, role, "const", src)
             return
         if src_kind is NodeKind.INPUT:
             deadline = t - 1
@@ -179,7 +218,11 @@ def simulate(
             if prev is None or deadline < prev:
                 input_deadlines[src] = deadline
                 input_cell_of[src] = cell
+                if probe is not None:
+                    probe.on_input(src, deadline, cell)
             input_cells.add(cell)
+            if probe is not None:
+                probe.on_operand(t, cell, nid, role, "input", src)
             return
         pcell, pt = fires[src]
         same_region = (
@@ -189,6 +232,7 @@ def simulate(
         if same_region and local:
             slack = t - (pt + 1)
             kind = "timing"
+            source = "local" if cell == pcell else "neighbor"
         else:
             # Cut-and-pile: the value is parked in external memory between
             # G-sets (or the cells are not linked) -- one write, one read.
@@ -196,48 +240,62 @@ def simulate(
             memory_reads += 1
             slack = t - (pt + 2)
             kind = "memory-timing"
+            source = "memory"
+        if probe is not None:
+            probe.on_operand(t, cell, nid, role, source, src)
         if slack < 0:
             v = Violation(node=nid, role=role, producer=src, kind=kind, slack=slack)
+            if probe is not None:
+                probe.on_violation(v)
             if strict:
-                raise GraphError(str(v))
+                raise SimulationError(v)
             violations.append(v)
 
-    for nid in topo_order:
-        d = node_data[nid]
-        kind = d["kind"]
-        if kind is NodeKind.INPUT:
-            if nid not in inputs:
-                raise GraphError(f"no value supplied for input {nid!r}")
-            values[nid] = {"out": inputs[nid]}
-            continue
-        if kind is NodeKind.CONST:
-            values[nid] = {"out": d["value"]}
-            continue
-        operands = d["operands"]
-        if kind is NodeKind.OUTPUT:
-            (ref,) = operands.values()
-            values[nid] = {"out": values[ref[0]][ref[1]]}
-            continue
-        # Slot-occupying node: must be planned.
-        if nid not in fires:
-            raise GraphError(f"plan does not cover slot node {nid!r}")
-        cell, t = fires[nid]
-        busy += 1
-        if d.get("tag") == "compute":
-            useful += 1
-        for role, ref in operands.items():
-            check_operand(nid, role, ref, cell, t)
-        if kind is NodeKind.OP:
-            fn = OPCODE_SEMANTICS[d["opcode"]]
-            roles = {r: values[ref[0]][ref[1]] for r, ref in operands.items()}
-            table = dict(roles)
-            table["out"] = fn(semiring, **roles)
-            values[nid] = table
-        else:  # PASS / DELAY
-            (ref,) = operands.values()
-            values[nid] = {"out": values[ref[0]][ref[1]]}
+    with stage_span(
+        "sim.simulate", graph=dg.name, nodes=len(topo_order),
+        cells=plan.topology.m, probed=probe is not None,
+    ) as sp:
+        for nid in topo_order:
+            d = node_data[nid]
+            kind = d["kind"]
+            if kind is NodeKind.INPUT:
+                if nid not in inputs:
+                    raise GraphError(f"no value supplied for input {nid!r}")
+                values[nid] = {"out": inputs[nid]}
+                continue
+            if kind is NodeKind.CONST:
+                values[nid] = {"out": d["value"]}
+                continue
+            operands = d["operands"]
+            if kind is NodeKind.OUTPUT:
+                (ref,) = operands.values()
+                values[nid] = {"out": values[ref[0]][ref[1]]}
+                continue
+            # Slot-occupying node: must be planned.
+            if nid not in fires:
+                raise GraphError(f"plan does not cover slot node {nid!r}")
+            cell, t = fires[nid]
+            busy += 1
+            if d.get("tag") == "compute":
+                useful += 1
+            if probe is not None:
+                probe.on_fire(t, cell, nid, kind.name, d.get("tag"))
+            for role, ref in operands.items():
+                check_operand(nid, role, ref, cell, t)
+            if kind is NodeKind.OP:
+                fn = OPCODE_SEMANTICS[d["opcode"]]
+                roles = {r: values[ref[0]][ref[1]] for r, ref in operands.items()}
+                table = dict(roles)
+                table["out"] = fn(semiring, **roles)
+                values[nid] = table
+            else:  # PASS / DELAY
+                (ref,) = operands.values()
+                values[nid] = {"out": values[ref[0]][ref[1]]}
 
-    outputs = {nid: values[nid]["out"] for nid in dg.outputs}
+        outputs = {nid: values[nid]["out"] for nid in dg.outputs}
+        sp.tag("makespan", plan.makespan)
+        sp.tag("violations", len(violations))
+        sp.tag("memory_words", len(memory_refs))
     return SimResult(
         outputs=outputs,
         makespan=plan.makespan,

@@ -24,6 +24,7 @@ import numpy as np
 
 from ..core.graph import DependenceGraph, NodeId, NodeKind, PortRef
 from ..core.semiring import BOOLEAN, Semiring
+from ..obs.tracing import stage_span
 from .cycle_sim import SimResult, simulate
 from .plan import ExecutionPlan, PlanError
 
@@ -129,8 +130,19 @@ def run_chained_instances(
     returns per-instance outputs plus the combined simulation result.
     """
     k = len(input_envs)
-    big_dg = replicate_graph(dg, k)
-    big_plan = chain_plans(plan, k, delta)
+    with stage_span(
+        "chain.replicate_graph", graph=dg.name, k=k, nodes=len(dg),
+        edges=dg.g.number_of_edges(),
+    ) as sp:
+        big_dg = replicate_graph(dg, k)
+        sp.tag("nodes_out", len(big_dg))
+        sp.tag("edges_out", big_dg.g.number_of_edges())
+    with stage_span(
+        "chain.chain_plans", k=k, delta=delta, fires=len(plan.fires)
+    ) as sp:
+        big_plan = chain_plans(plan, k, delta)
+        sp.tag("fires_out", len(big_plan.fires))
+        sp.tag("makespan", big_plan.makespan)
     big_inputs: dict[NodeId, Any] = {}
     for i, env in enumerate(input_envs):
         for nid, value in env.items():

@@ -8,6 +8,8 @@ Examples::
     python -m repro schedule --n 12 --m 4 --policy vertical
     python -m repro level --n 6 --k 2
     python -m repro fixed --n 9
+    python -m repro trace --n 12 --m 4 --trace-out t.json
+    python -m repro stats --n 12 --m 4
 """
 
 from __future__ import annotations
@@ -43,6 +45,9 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--simulate", action="store_true",
                    help="cycle-simulate on a random instance and verify")
     s.add_argument("--seed", type=int, default=0)
+    s.add_argument("--trace-out", metavar="FILE", default=None,
+                   help="with --simulate: write a Chrome trace JSON of the "
+                        "pipeline stages and the simulated cycles")
 
     s = sub.add_parser("ggraph", help="render a G-graph's computation times")
     s.add_argument("--algorithm", choices=("tc", "lu", "faddeev", "givens"),
@@ -69,6 +74,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     s.add_argument("exp", nargs="*",
                    help="experiment ids (e.g. F18 T-EVAL); default: list them")
+
+    s = sub.add_parser(
+        "trace",
+        help="run the full pipeline + simulation under the tracer and "
+             "write a Chrome trace JSON (open in Perfetto)",
+    )
+    s.add_argument("--n", type=int, default=12)
+    s.add_argument("--m", type=int, default=4)
+    s.add_argument("--geometry", choices=("linear", "mesh"), default="linear")
+    s.add_argument("--policy", default="vertical")
+    s.add_argument("--packed", action="store_true")
+    s.add_argument("--seed", type=int, default=0)
+    s.add_argument("--trace-out", metavar="FILE", default="trace.json")
+
+    s = sub.add_parser(
+        "stats",
+        help="run the pipeline + simulation under the metrics registry and "
+             "print measured vs. closed-form (Sec. 4.2) metrics",
+    )
+    s.add_argument("--n", type=int, default=12)
+    s.add_argument("--m", type=int, default=4)
+    s.add_argument("--geometry", choices=("linear", "mesh"), default="linear")
+    s.add_argument("--policy", default="vertical")
+    s.add_argument("--packed", action="store_true")
+    s.add_argument("--seed", type=int, default=0)
+    s.add_argument("--format", choices=("prom", "json"), default="prom",
+                   help="registry export format (default: Prometheus text)")
     return p
 
 
@@ -80,9 +112,59 @@ def _cmd_stages(args) -> int:
     return 0
 
 
+def _run_traced_pipeline(args):
+    """Build + simulate one partitioned closure under tracer and probe.
+
+    Returns ``(impl, result, ok, tracer, probe)`` — the shared machinery
+    of ``trace``, ``stats`` and ``partition --trace-out``.
+    """
+    from .algorithms.transitive_closure import make_inputs
+    from .algorithms.warshall import random_adjacency, warshall
+    from .arrays.cycle_sim import simulate
+    from .core.partitioner import partition_transitive_closure
+    from .obs import (
+        RecordingProbe,
+        install_tracer,
+        probe_chrome_events,
+        uninstall_tracer,
+    )
+
+    tracer = install_tracer()
+    try:
+        impl = partition_transitive_closure(
+            n=args.n, m=args.m, geometry=args.geometry,
+            policy=args.policy, aligned=not getattr(args, "packed", False),
+        )
+        probe = RecordingProbe()
+        a = random_adjacency(args.n, seed=args.seed)
+        res = simulate(
+            impl.exec_plan, impl.dg, make_inputs(a), probe=probe
+        )
+        ok = bool(np.array_equal(res.output_matrix(args.n), warshall(a)))
+    finally:
+        uninstall_tracer()
+    tracer.add_chrome_events(probe_chrome_events(probe))
+    return impl, res, ok, tracer, probe
+
+
 def _cmd_partition(args) -> int:
     from .algorithms.warshall import random_adjacency, warshall
     from .core.partitioner import partition_transitive_closure
+
+    if args.trace_out and not args.simulate:
+        print("--trace-out requires --simulate", file=sys.stderr)
+        return 2
+    if args.simulate and args.trace_out:
+        impl, res, ok, tracer, _probe = _run_traced_pipeline(args)
+        print(f"G-graph: {impl.gg}")
+        for key, value in impl.report.row().items():
+            print(f"  {key:>12}: {value}")
+        n_events = tracer.write_chrome(args.trace_out)
+        print(f"simulation: makespan={res.makespan} violations="
+              f"{len(res.violations)} correct={ok}")
+        print(f"trace: {args.trace_out} ({n_events} events, "
+              f"{len(tracer.spans)} spans)")
+        return 0 if (ok and res.ok) else 1
 
     impl = partition_transitive_closure(
         n=args.n, m=args.m, geometry=args.geometry,
@@ -188,6 +270,84 @@ def _cmd_reproduce(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    impl, res, ok, tracer, probe = _run_traced_pipeline(args)
+    n_events = tracer.write_chrome(args.trace_out)
+    stages = sorted({s.name for s in tracer.spans})
+    print(f"pipeline stages traced: {', '.join(stages)}")
+    census = probe.operand_source_census()
+    print(f"simulated {len(probe.fires)} fires over {res.makespan} cycles; "
+          f"operand sources: " +
+          ", ".join(f"{k}={v}" for k, v in census.items() if v))
+    print(f"simulation: makespan={res.makespan} violations="
+          f"{len(res.violations)} correct={ok}")
+    print(f"trace: {args.trace_out} ({n_events} events, "
+          f"{len(tracer.spans)} spans) -- open in https://ui.perfetto.dev")
+    return 0 if (ok and res.ok) else 1
+
+
+def _cmd_stats(args) -> int:
+    from .obs import (
+        MetricsRegistry,
+        register_expected_metrics,
+        register_sim_metrics,
+    )
+
+    impl, res, ok, _tracer, _probe = _run_traced_pipeline(args)
+    reg = MetricsRegistry()
+    labels = {"n": args.n, "m": args.m, "geometry": args.geometry}
+    register_sim_metrics(reg, res, impl.report, labels=labels)
+    register_expected_metrics(reg, args.n, args.m, args.geometry, labels=labels)
+    reg.gauge("repro_sim_correct", "closure matched the software oracle").set(
+        int(ok), **labels
+    )
+    if args.format == "json":
+        print(reg.dump_json())
+    else:
+        print(reg.to_prometheus(), end="")
+    # Measured vs. Sec. 4.2 closed forms.  Throughput/utilization are
+    # exact iff m | n+1 with packed G-sets (the paper's divisibility
+    # assumption); boundary G-sets account for any gap.  D_IO = m/n is a
+    # *sufficient bound*: a host at that constant rate must meet every
+    # word deadline (checked through the Fig. 21 R-block chain).
+    from fractions import Fraction
+
+    from .arrays.host import simulate_rblock_chain
+    from .core.metrics import (
+        memory_connections,
+        tc_io_bandwidth,
+        tc_linear_throughput,
+        tc_mesh_throughput,
+        tc_utilization,
+    )
+
+    rep = impl.report
+    thr_form = tc_linear_throughput if args.geometry == "linear" else tc_mesh_throughput
+    pairs = [
+        ("throughput", rep.throughput, thr_form(args.n, args.m)),
+        ("utilization", rep.utilization, tc_utilization(args.n)),
+        ("memory_ports", rep.memory_connections,
+         memory_connections(args.geometry, args.m)),
+    ]
+    exact = (args.n + 1) % args.m == 0 and args.packed
+    print(f"\n# measured vs closed form (exact regime -- packed and m | n+1: "
+          f"{exact})")
+    for name, measured, expected in pairs:
+        dev = (
+            abs(float(measured) - float(expected)) / float(expected)
+            if float(expected) else 0.0
+        )
+        print(f"#   {name:>12}: measured={float(measured):.6g} "
+              f"expected={float(expected):.6g} deviation={dev:.2%}")
+    d_io = tc_io_bandwidth(args.n, args.m)
+    chain = simulate_rblock_chain(res, Fraction(d_io))
+    print(f"#   {'io_bandwidth':>12}: measured_avg="
+          f"{float(res.average_host_bandwidth()):.6g} "
+          f"bound=m/n={float(d_io):.6g} "
+          f"host@bound_meets_deadlines={chain.feasible}")
+    return 0 if (ok and res.ok) else 1
+
+
 _COMMANDS = {
     "stages": _cmd_stages,
     "partition": _cmd_partition,
@@ -196,6 +356,8 @@ _COMMANDS = {
     "level": _cmd_level,
     "fixed": _cmd_fixed,
     "reproduce": _cmd_reproduce,
+    "trace": _cmd_trace,
+    "stats": _cmd_stats,
 }
 
 

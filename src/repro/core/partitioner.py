@@ -24,6 +24,7 @@ from typing import Callable
 import numpy as np
 
 from ..algorithms import transitive_closure as tc
+from ..obs.tracing import stage_span
 from .ggraph import GGraph, GNodeId, group_by_columns
 from .graph import DependenceGraph, NodeId
 from .gsets import (
@@ -59,7 +60,13 @@ class PartitionedImplementation:
         if self._exec_plan is None:
             from ..arrays.plan import partitioned_plan
 
-            self._exec_plan = partitioned_plan(self.plan, self.order)
+            with stage_span(
+                "arrays.partitioned_plan", gsets=len(self.order)
+            ) as sp:
+                self._exec_plan = partitioned_plan(self.plan, self.order)
+                sp.tag("fires", len(self._exec_plan.fires))
+                sp.tag("makespan", self._exec_plan.makespan)
+                sp.tag("stall_cycles", self._exec_plan.stall_cycles)
         return self._exec_plan
 
     def run(self, a: np.ndarray, strict: bool = True) -> np.ndarray:
@@ -103,16 +110,32 @@ def partition(
     is the responsibility of the algorithm front-end or of
     :mod:`repro.core.transform`.)
     """
-    gg = GGraph(dg, grouping)
-    if geometry == "linear":
-        plan = make_linear_gsets(gg, m, aligned=aligned)
-    elif geometry == "mesh":
-        plan = make_mesh_gsets(gg, m, shape=mesh_shape)
-    else:
-        raise ValueError(f"unknown geometry {geometry!r}")
-    order = schedule_gsets(plan, policy)
-    verify_schedule(plan, order)
-    report = evaluate_schedule(plan, order)
+    with stage_span(
+        "partition.group", graph=dg.name,
+        nodes=len(dg), edges=dg.g.number_of_edges(),
+    ) as sp:
+        gg = GGraph(dg, grouping)
+        sp.tag("gnodes", len(gg.gnodes))
+        sp.tag("gedges", gg.g.number_of_edges())
+    with stage_span(
+        "partition.select_gsets", geometry=geometry, m=m, gnodes=len(gg.gnodes)
+    ) as sp:
+        if geometry == "linear":
+            plan = make_linear_gsets(gg, m, aligned=aligned)
+        elif geometry == "mesh":
+            plan = make_mesh_gsets(gg, m, shape=mesh_shape)
+        else:
+            raise ValueError(f"unknown geometry {geometry!r}")
+        sp.tag("gsets", len(plan.gsets))
+        sp.tag("boundary_gsets", plan.boundary_sets())
+    with stage_span("partition.schedule", policy=policy, gsets=len(plan.gsets)):
+        order = schedule_gsets(plan, policy)
+    with stage_span("partition.verify", gsets=len(order)):
+        verify_schedule(plan, order)
+    with stage_span("partition.evaluate", gsets=len(order)) as sp:
+        report = evaluate_schedule(plan, order)
+        sp.tag("total_time", report.total_time)
+        sp.tag("utilization", report.utilization)
     return PartitionedImplementation(
         dg=dg, gg=gg, plan=plan, order=order, report=report, semiring=semiring
     )
@@ -132,7 +155,10 @@ def partition_transitive_closure(
     the Fig. 17 G-graph, selects and schedules G-sets for the requested
     array, and returns the implementation with its Sec. 4 report.
     """
-    dg = tc.tc_regular(n)
+    with stage_span("frontend.tc_regular", n=n) as sp:
+        dg = tc.tc_regular(n)
+        sp.tag("nodes", len(dg))
+        sp.tag("edges", dg.g.number_of_edges())
     return partition(
         dg,
         group_by_columns,

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from typing import Callable, Hashable
 
+from ..obs.tracing import stage_span
 from .analysis import find_broadcasts
 from .graph import (
     Axis,
@@ -66,40 +67,47 @@ def prune_superfluous(
     carrier's producer, transitively, so chains of superfluous nodes
     collapse to their first real producer.
     """
-    out = dg.copy(name=f"{dg.name}/pruned")
-    # Resolve replacement references in topological order so that chains
-    # of superfluous nodes collapse in one pass.
-    replacement: dict[NodeId, tuple[Hashable, str]] = {}
-    doomed: list[NodeId] = []
-    for nid in out.topological_order():
-        if out.kind(nid) is not NodeKind.OP or not is_superfluous(out, nid):
-            continue
-        ops = out.operands(nid)
-        if carrier_role not in ops:
-            raise TransformError(
-                f"superfluous node {nid!r} has no {carrier_role!r} operand"
-            )
-        ref = ops[carrier_role]
-        # If the carrier itself was superfluous, chase it.
-        while ref[0] in replacement and ref[1] == "out":
-            ref = replacement[ref[0]]
-        replacement[nid] = ref
-        doomed.append(nid)
-    # Rewire all consumers of doomed nodes.
-    for nid in list(out.g.nodes):
-        for role, (src, sport) in list(out.operands(nid).items()):
-            if src in replacement:
-                ref = replacement[src] if sport == "out" else None
-                if ref is None:
-                    # A forwarding port of a removed node: the forwarded
-                    # operand is whatever the removed node consumed there.
-                    fref = dg.operands(src)[sport]
-                    while fref[0] in replacement and fref[1] == "out":
-                        fref = replacement[fref[0]]
-                    ref = fref
-                out.rewire(nid, role, PortRef(*ref))
-    for nid in reversed(doomed):
-        out.remove_node(nid)
+    with stage_span(
+        "transform.prune_superfluous", graph=dg.name,
+        nodes_in=len(dg), edges_in=dg.g.number_of_edges(),
+    ) as sp:
+        out = dg.copy(name=f"{dg.name}/pruned")
+        # Resolve replacement references in topological order so that chains
+        # of superfluous nodes collapse in one pass.
+        replacement: dict[NodeId, tuple[Hashable, str]] = {}
+        doomed: list[NodeId] = []
+        for nid in out.topological_order():
+            if out.kind(nid) is not NodeKind.OP or not is_superfluous(out, nid):
+                continue
+            ops = out.operands(nid)
+            if carrier_role not in ops:
+                raise TransformError(
+                    f"superfluous node {nid!r} has no {carrier_role!r} operand"
+                )
+            ref = ops[carrier_role]
+            # If the carrier itself was superfluous, chase it.
+            while ref[0] in replacement and ref[1] == "out":
+                ref = replacement[ref[0]]
+            replacement[nid] = ref
+            doomed.append(nid)
+        # Rewire all consumers of doomed nodes.
+        for nid in list(out.g.nodes):
+            for role, (src, sport) in list(out.operands(nid).items()):
+                if src in replacement:
+                    ref = replacement[src] if sport == "out" else None
+                    if ref is None:
+                        # A forwarding port of a removed node: the forwarded
+                        # operand is whatever the removed node consumed there.
+                        fref = dg.operands(src)[sport]
+                        while fref[0] in replacement and fref[1] == "out":
+                            fref = replacement[fref[0]]
+                        ref = fref
+                    out.rewire(nid, role, PortRef(*ref))
+        for nid in reversed(doomed):
+            out.remove_node(nid)
+        sp.tag("pruned", len(doomed))
+        sp.tag("nodes_out", len(out))
+        sp.tag("edges_out", out.g.number_of_edges())
     return out
 
 
@@ -128,32 +136,42 @@ def pipeline_broadcasts(
         return (p if p is not None else (), repr(nid))
 
     key = order_key or default_key
-    out = dg.copy(name=f"{dg.name}/pipelined")
-    report = find_broadcasts(out, fanout_threshold=fanout_threshold)
-    for (src, sport), _count in report.sources:
-        consumers: list[tuple[NodeId, str]] = []
-        for nid in list(out.g.successors(src)):
-            for role, ref in out.operands(nid).items():
-                if ref == (src, sport):
-                    consumers.append((nid, role))
-        # Group roles per consumer: a node reading the value on several
-        # ports receives it once and fans it out internally (operands may
-        # share a reference), so the chain hops nodes, not roles.
-        roles_of: dict[NodeId, list[str]] = {}
-        for nid, role in consumers:
-            if out.kind(nid) is not NodeKind.OUTPUT:
-                roles_of.setdefault(nid, []).append(role)
-        if len(roles_of) <= fanout_threshold:
-            continue
-        chain = sorted(roles_of, key=lambda nid: key(out, nid))
-        prev_ref: PortRef = PortRef(src, sport)
-        for nid in chain:
-            for role in roles_of[nid]:
-                out.rewire(nid, role, prev_ref)
-            if out.kind(nid) is NodeKind.OP:
-                prev_ref = port(nid, roles_of[nid][0])
-            else:  # PASS / DELAY forward on their out port
-                prev_ref = PortRef(nid, "out")
+    with stage_span(
+        "transform.pipeline_broadcasts", graph=dg.name,
+        nodes_in=len(dg), edges_in=dg.g.number_of_edges(),
+    ) as sp:
+        out = dg.copy(name=f"{dg.name}/pipelined")
+        report = find_broadcasts(out, fanout_threshold=fanout_threshold)
+        chained = 0
+        for (src, sport), _count in report.sources:
+            consumers: list[tuple[NodeId, str]] = []
+            for nid in list(out.g.successors(src)):
+                for role, ref in out.operands(nid).items():
+                    if ref == (src, sport):
+                        consumers.append((nid, role))
+            # Group roles per consumer: a node reading the value on several
+            # ports receives it once and fans it out internally (operands may
+            # share a reference), so the chain hops nodes, not roles.
+            roles_of: dict[NodeId, list[str]] = {}
+            for nid, role in consumers:
+                if out.kind(nid) is not NodeKind.OUTPUT:
+                    roles_of.setdefault(nid, []).append(role)
+            if len(roles_of) <= fanout_threshold:
+                continue
+            chain = sorted(roles_of, key=lambda nid: key(out, nid))
+            prev_ref: PortRef = PortRef(src, sport)
+            for nid in chain:
+                for role in roles_of[nid]:
+                    out.rewire(nid, role, prev_ref)
+                if out.kind(nid) is NodeKind.OP:
+                    prev_ref = port(nid, roles_of[nid][0])
+                else:  # PASS / DELAY forward on their out port
+                    prev_ref = PortRef(nid, "out")
+            chained += 1
+        sp.tag("broadcasts", len(report.sources))
+        sp.tag("chained", chained)
+        sp.tag("nodes_out", len(out))
+        sp.tag("edges_out", out.g.number_of_edges())
     return out
 
 
@@ -174,17 +192,22 @@ def insert_delay(
     """
     if count < 1:
         raise TransformError(f"delay count must be positive, got {count}")
-    out = dg.copy(name=f"{dg.name}/delayed")
-    ref = out.operands(consumer).get(role)
-    if ref is None:
-        raise TransformError(f"node {consumer!r} has no operand {role!r}")
-    prev: PortRef = PortRef(*ref)
-    for idx in range(count):
-        pos = positions[idx] if positions else None
-        did = ("delay", consumer, role, idx)
-        out.add_delay(did, prev, pos=pos, tag=tag)
-        prev = PortRef(did, "out")
-    out.rewire(consumer, role, prev)
+    with stage_span(
+        "transform.insert_delay", graph=dg.name, nodes_in=len(dg),
+        count=count,
+    ) as sp:
+        out = dg.copy(name=f"{dg.name}/delayed")
+        ref = out.operands(consumer).get(role)
+        if ref is None:
+            raise TransformError(f"node {consumer!r} has no operand {role!r}")
+        prev: PortRef = PortRef(*ref)
+        for idx in range(count):
+            pos = positions[idx] if positions else None
+            did = ("delay", consumer, role, idx)
+            out.add_delay(did, prev, pos=pos, tag=tag)
+            prev = PortRef(did, "out")
+        out.rewire(consumer, role, prev)
+        sp.tag("nodes_out", len(out))
     return out
 
 
@@ -199,9 +222,15 @@ def reindex_positions(
     the paper's flip: nodes on the wrong side of a broadcast source are
     moved past its other end, making all chains uni-directional.
     """
-    out = dg.copy(name=f"{dg.name}/reindexed")
-    for nid in out.g.nodes:
-        p = out.pos(nid)
-        if p is not None:
-            out.set_pos(nid, fn(nid, p))
+    with stage_span(
+        "transform.reindex_positions", graph=dg.name, nodes_in=len(dg)
+    ) as sp:
+        out = dg.copy(name=f"{dg.name}/reindexed")
+        moved = 0
+        for nid in out.g.nodes:
+            p = out.pos(nid)
+            if p is not None:
+                out.set_pos(nid, fn(nid, p))
+                moved += 1
+        sp.tag("repositioned", moved)
     return out

@@ -1,0 +1,81 @@
+"""Observability for the partitioning pipeline and the cycle simulator.
+
+Three instruments, one package:
+
+* :mod:`repro.obs.metrics` — a **metrics registry** (counters, gauges,
+  histograms) with Prometheus-text and JSON exporters; the benchmark
+  harness routes every table through it so each experiment also lands as
+  machine-readable ``benchmarks/out/<exp_id>.json``.
+* :mod:`repro.obs.tracing` — **span tracing** of the pipeline stages
+  (broadcast removal, flipping, delay insertion, grouping, G-set
+  selection, scheduling, ...) with a Chrome ``trace_event`` exporter:
+  traces open directly in Perfetto / ``chrome://tracing``.
+* :mod:`repro.obs.probe` / :mod:`repro.obs.report` — **per-cycle
+  simulator probes**: the cycle simulator emits fire/operand/input/
+  violation events behind a zero-overhead-when-disabled protocol, from
+  which per-cell occupancy timelines, memory-traffic curves and the
+  measured Fig. 21 I/O demand curve are derived.
+
+CLI: ``python -m repro trace --n 12 --m 4 --trace-out t.json`` and
+``python -m repro stats --n 12 --m 4``.  See ``docs/observability.md``.
+"""
+
+from .metrics import (  # noqa: F401
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+)
+from .probe import (  # noqa: F401
+    FireEvent,
+    NullProbe,
+    OperandEvent,
+    Probe,
+    RecordingProbe,
+    SOURCE_CLASSES,
+)
+from .report import (  # noqa: F401
+    io_demand_curve,
+    memory_traffic_per_cycle,
+    occupancy_timeline,
+    probe_chrome_events,
+    register_expected_metrics,
+    register_sim_metrics,
+)
+from .tracing import (  # noqa: F401
+    Span,
+    Tracer,
+    get_tracer,
+    install_tracer,
+    stage_span,
+    uninstall_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "set_registry",
+    "Probe",
+    "NullProbe",
+    "RecordingProbe",
+    "FireEvent",
+    "OperandEvent",
+    "SOURCE_CLASSES",
+    "Span",
+    "Tracer",
+    "stage_span",
+    "install_tracer",
+    "uninstall_tracer",
+    "get_tracer",
+    "occupancy_timeline",
+    "memory_traffic_per_cycle",
+    "io_demand_curve",
+    "probe_chrome_events",
+    "register_sim_metrics",
+    "register_expected_metrics",
+]

@@ -1,0 +1,155 @@
+"""Per-cycle simulator probes (the event-stream side of observability).
+
+The cycle simulator (:func:`repro.arrays.cycle_sim.simulate`) accepts an
+optional ``probe``.  When none is passed (the default) the hot loop pays
+a single ``is not None`` check per event site — effectively zero
+overhead.  When a probe is supplied, the simulator calls it with every:
+
+* **fire** — a slot-occupying node executing at ``(cell, cycle)``;
+* **operand read** — classified by *source class*: ``local`` (same cell
+  or register), ``neighbor`` (one-hop link), ``memory`` (cut-and-pile
+  round trip), ``input`` (host delivery) or ``const`` (wired control);
+* **input deadline** — a host word's delivery deadline being recorded;
+* **violation** — a timing/locality constraint failing.
+
+:class:`RecordingProbe` is the standard implementation: it stores the raw
+events; :mod:`repro.obs.report` derives per-cell occupancy timelines,
+memory-traffic-per-cycle curves, the measured Fig. 21 I/O demand curve,
+and Chrome trace events from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Protocol, runtime_checkable
+
+__all__ = [
+    "Probe",
+    "NullProbe",
+    "RecordingProbe",
+    "FireEvent",
+    "OperandEvent",
+    "SOURCE_CLASSES",
+]
+
+#: Operand source classes reported via :meth:`Probe.on_operand`.
+SOURCE_CLASSES = ("local", "neighbor", "memory", "input", "const")
+
+
+@runtime_checkable
+class Probe(Protocol):
+    """What the cycle simulator calls while executing a plan."""
+
+    def on_fire(
+        self, cycle: int, cell: Hashable, node: Any, kind: str, tag: str | None
+    ) -> None:
+        """A slot-occupying node fired."""
+
+    def on_operand(
+        self,
+        cycle: int,
+        cell: Hashable,
+        node: Any,
+        role: str,
+        source: str,
+        producer: Any,
+    ) -> None:
+        """An operand was read; ``source`` is one of SOURCE_CLASSES."""
+
+    def on_input(self, node: Any, deadline: int, cell: Hashable) -> None:
+        """A host word's (earliest) delivery deadline was recorded."""
+
+    def on_violation(self, violation: Any) -> None:
+        """A timing/locality violation was detected."""
+
+
+class NullProbe:
+    """Explicit do-nothing probe (same as passing ``probe=None``)."""
+
+    def on_fire(self, cycle, cell, node, kind, tag) -> None:  # noqa: D102
+        pass
+
+    def on_operand(self, cycle, cell, node, role, source, producer) -> None:  # noqa: D102
+        pass
+
+    def on_input(self, node, deadline, cell) -> None:  # noqa: D102
+        pass
+
+    def on_violation(self, violation) -> None:  # noqa: D102
+        pass
+
+
+@dataclass(frozen=True)
+class FireEvent:
+    """One node execution."""
+
+    cycle: int
+    cell: Hashable
+    node: Any
+    kind: str
+    tag: str | None
+
+
+@dataclass(frozen=True)
+class OperandEvent:
+    """One operand read, classified by where the value came from."""
+
+    cycle: int
+    cell: Hashable
+    node: Any
+    role: str
+    source: str
+    producer: Any
+
+
+@dataclass
+class RecordingProbe:
+    """Collects every simulator event for later analysis.
+
+    Memory cost is proportional to the number of fires + operand reads;
+    for per-cycle *aggregates* only, see the derivations in
+    :mod:`repro.obs.report` which consume this and can then drop it.
+    """
+
+    fires: list[FireEvent] = field(default_factory=list)
+    operands: list[OperandEvent] = field(default_factory=list)
+    inputs: list[tuple[Any, int, Hashable]] = field(default_factory=list)
+    violations: list[Any] = field(default_factory=list)
+
+    def on_fire(self, cycle, cell, node, kind, tag) -> None:  # noqa: D102
+        self.fires.append(FireEvent(cycle, cell, node, kind, tag))
+
+    def on_operand(self, cycle, cell, node, role, source, producer) -> None:  # noqa: D102
+        self.operands.append(
+            OperandEvent(cycle, cell, node, role, source, producer)
+        )
+
+    def on_input(self, node, deadline, cell) -> None:  # noqa: D102
+        self.inputs.append((node, deadline, cell))
+
+    def on_violation(self, violation) -> None:  # noqa: D102
+        self.violations.append(violation)
+
+    # -- light-weight aggregates (heavier ones live in obs.report) -----
+
+    def fires_per_cycle(self) -> list[tuple[int, int]]:
+        """Sorted ``(cycle, number of fires)`` pairs."""
+        counts: dict[int, int] = {}
+        for f in self.fires:
+            counts[f.cycle] = counts.get(f.cycle, 0) + 1
+        return sorted(counts.items())
+
+    def operand_source_census(self) -> dict[str, int]:
+        """How many operand reads came from each source class."""
+        census = {s: 0 for s in SOURCE_CLASSES}
+        for ev in self.operands:
+            census[ev.source] = census.get(ev.source, 0) + 1
+        return census
+
+    def cells(self) -> list[Hashable]:
+        """Every cell that fired at least once, in first-fire order."""
+        seen: dict[Hashable, None] = {}
+        for f in self.fires:
+            if f.cell not in seen:
+                seen[f.cell] = None
+        return list(seen)

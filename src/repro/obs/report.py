@@ -1,0 +1,263 @@
+"""Derived views over probe event streams and simulation results.
+
+Consumes a :class:`~repro.obs.probe.RecordingProbe` (and optionally the
+:class:`~repro.arrays.cycle_sim.SimResult` of the same run) and derives:
+
+* per-cell **occupancy timelines** — which cycles each cell was busy and
+  doing what (compute vs. transmit/delay padding);
+* the **memory-traffic-per-cycle** curve — cut-and-pile external-memory
+  reads each cycle (the paper's partitioning traffic made visible);
+* the measured Fig. 21 **I/O demand curve** — cumulative host words
+  needed by each deadline cycle;
+* **Chrome trace events** on the simulator process (1 trace microsecond
+  = 1 simulated cycle): one lane per cell plus counter tracks, ready for
+  Perfetto;
+* registry population helpers mapping a run's measures (and the paper's
+  Sec. 4.2 closed forms) onto named gauges for ``python -m repro stats``.
+
+Everything here duck-types its inputs — no imports from
+:mod:`repro.arrays` — so the obs package stays dependency-free and
+import-cycle-free.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterable
+
+from .metrics import MetricsRegistry
+from .probe import RecordingProbe
+from .tracing import SIM_PID
+
+__all__ = [
+    "occupancy_timeline",
+    "memory_traffic_per_cycle",
+    "io_demand_curve",
+    "probe_chrome_events",
+    "register_sim_metrics",
+    "register_expected_metrics",
+]
+
+
+def occupancy_timeline(
+    probe: RecordingProbe,
+) -> dict[Hashable, list[tuple[int, str]]]:
+    """Per-cell ``[(cycle, activity), ...]`` sorted by cycle.
+
+    ``activity`` is the fired node's tag when present (``compute``,
+    ``transmit``, ``delay``, ...) else its kind (``OP``/``PASS``/...).
+    Gaps between entries are idle cycles — utilization per cell is
+    ``len(timeline) / makespan``.
+    """
+    lanes: dict[Hashable, list[tuple[int, str]]] = {}
+    for f in probe.fires:
+        lanes.setdefault(f.cell, []).append((f.cycle, f.tag or f.kind))
+    for lane in lanes.values():
+        lane.sort()
+    return lanes
+
+
+def memory_traffic_per_cycle(probe: RecordingProbe) -> list[tuple[int, int]]:
+    """Sorted ``(cycle, external-memory reads)`` pairs.
+
+    Each entry counts the cut-and-pile round trips *consumed* that cycle;
+    the matching write happened when the producing G-set ran.
+    """
+    counts: dict[int, int] = {}
+    for ev in probe.operands:
+        if ev.source == "memory":
+            counts[ev.cycle] = counts.get(ev.cycle, 0) + 1
+    return sorted(counts.items())
+
+
+def io_demand_curve(probe: RecordingProbe) -> list[tuple[int, int]]:
+    """Measured Fig. 21 curve: cumulative host words per deadline cycle.
+
+    Matches :meth:`repro.arrays.cycle_sim.SimResult.io_demand_curve` when
+    the probe watched the whole run (asserted by the test suite).
+    """
+    counts: dict[int, int] = {}
+    for _node, deadline, _cell in probe.inputs:
+        counts[deadline] = counts.get(deadline, 0) + 1
+    curve: list[tuple[int, int]] = []
+    total = 0
+    for t in sorted(counts):
+        total += counts[t]
+        curve.append((t, total))
+    return curve
+
+
+def _cell_tid(cell: Hashable, order: dict[Hashable, int]) -> int:
+    """Stable small integer lane id per cell (tid 1..k on SIM_PID)."""
+    if cell not in order:
+        order[cell] = len(order) + 1
+    return order[cell]
+
+
+def probe_chrome_events(probe: RecordingProbe) -> list[dict]:
+    """Chrome trace events for the simulated run (ts in cycles).
+
+    * one ``X`` event per fire, lane per cell (thread names announce the
+      cell ids);
+    * ``C`` counter tracks: fires per cycle, memory reads per cycle, and
+      the cumulative I/O demand curve.
+    """
+    events: list[dict] = []
+    order: dict[Hashable, int] = {}
+    for f in probe.fires:
+        tid = _cell_tid(f.cell, order)
+        events.append(
+            {
+                "name": f.tag or f.kind,
+                "ph": "X",
+                "ts": float(f.cycle),
+                "dur": 1.0,
+                "pid": SIM_PID,
+                "tid": tid,
+                "cat": "sim.fire",
+                "args": {"node": repr(f.node), "kind": f.kind},
+            }
+        )
+    for cell, tid in order.items():
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": SIM_PID,
+                "tid": tid,
+                "args": {"name": f"cell {cell!r}"},
+            }
+        )
+    for name, series in (
+        ("fires/cycle", probe.fires_per_cycle()),
+        ("memory reads/cycle", memory_traffic_per_cycle(probe)),
+        ("host words needed (cum.)", io_demand_curve(probe)),
+    ):
+        for cycle, value in series:
+            events.append(
+                {
+                    "name": name,
+                    "ph": "C",
+                    "ts": float(cycle),
+                    "pid": SIM_PID,
+                    "tid": 0,
+                    "cat": "sim.counter",
+                    "args": {name: value},
+                }
+            )
+    return events
+
+
+def register_sim_metrics(
+    registry: MetricsRegistry,
+    result: Any,
+    report: Any = None,
+    prefix: str = "repro",
+    labels: dict[str, Any] | None = None,
+) -> None:
+    """Record one simulated run's measures as gauges/counters.
+
+    ``result`` duck-types :class:`~repro.arrays.cycle_sim.SimResult`;
+    ``report`` (optional) duck-types
+    :class:`~repro.core.metrics.PerformanceReport` — its schedule-level
+    measures land next to the cycle-measured ones under
+    ``<prefix>_schedule_*``.
+    """
+    labels = labels or {}
+    g = registry.gauge
+    g(f"{prefix}_sim_makespan_cycles", "cycles to drain the whole run").set(
+        result.makespan, **labels
+    )
+    g(f"{prefix}_sim_cells", "cells in the simulated array").set(
+        result.cells, **labels
+    )
+    g(f"{prefix}_sim_utilization", "useful cell-cycles / capacity").set(
+        result.utilization, **labels
+    )
+    g(f"{prefix}_sim_occupancy", "busy cell-cycles / capacity").set(
+        result.occupancy, **labels
+    )
+    g(
+        f"{prefix}_sim_memory_words", "distinct words parked in external memory"
+    ).set(result.memory_words, **labels)
+    g(f"{prefix}_sim_memory_reads", "external-memory read round trips").set(
+        result.memory_reads, **labels
+    )
+    g(
+        f"{prefix}_sim_host_bandwidth_avg",
+        "total host words / makespan (aggregate D_IO)",
+    ).set(result.average_host_bandwidth(), **labels)
+    g(
+        f"{prefix}_sim_host_bandwidth_required",
+        "min constant host rate meeting all deadlines",
+    ).set(result.required_host_bandwidth(), **labels)
+    registry.counter(
+        f"{prefix}_sim_violations_total", "timing/locality violations"
+    ).inc(len(result.violations), **labels)
+    registry.counter(
+        f"{prefix}_sim_input_words_total", "host words consumed"
+    ).inc(len(result.input_deadlines), **labels)
+    if report is not None:
+        g(f"{prefix}_schedule_total_time", "schedule cycles (Sec. 4.1)").set(
+            report.total_time, **labels
+        )
+        g(f"{prefix}_schedule_throughput", "1 / total schedule time").set(
+            report.throughput, **labels
+        )
+        g(f"{prefix}_schedule_utilization", "Sec. 4.1 utilization U").set(
+            report.utilization, **labels
+        )
+        g(f"{prefix}_schedule_occupancy", "Sec. 4.1 occupancy").set(
+            report.occupancy, **labels
+        )
+        g(
+            f"{prefix}_schedule_io_steady", "steady-state host rate (Fig. 21)"
+        ).set(report.io_steady, **labels)
+        g(f"{prefix}_schedule_memory_words", "cut-and-pile parked words").set(
+            report.memory_words, **labels
+        )
+        g(
+            f"{prefix}_schedule_memory_ports", "external memory connections"
+        ).set(report.memory_connections, **labels)
+        g(f"{prefix}_schedule_overhead", "partitioning overhead cycles").set(
+            report.overhead, **labels
+        )
+
+
+def register_expected_metrics(
+    registry: MetricsRegistry, n: int, m: int, geometry: str = "linear",
+    prefix: str = "repro", labels: dict[str, Any] | None = None,
+) -> None:
+    """Record the paper's Sec. 4.2 closed forms as ``*_expected`` gauges.
+
+    Imports :mod:`repro.core.metrics` lazily so ``repro.obs`` itself has
+    no dependency on the core package.
+    """
+    from ..core.metrics import (
+        memory_connections,
+        tc_io_bandwidth,
+        tc_linear_throughput,
+        tc_mesh_throughput,
+        tc_utilization,
+    )
+
+    labels = labels or {}
+    g = registry.gauge
+    thr = tc_linear_throughput(n, m) if geometry == "linear" else tc_mesh_throughput(n, m)
+    g(
+        f"{prefix}_expected_throughput", "closed form T = m / (n^2 (n+1))"
+    ).set(thr, **labels)
+    g(
+        f"{prefix}_expected_utilization",
+        "closed form U = (n-1)(n-2) / (n(n+1))",
+    ).set(tc_utilization(n), **labels)
+    g(f"{prefix}_expected_io_bandwidth", "closed form D_IO = m/n").set(
+        tc_io_bandwidth(n, m), **labels
+    )
+    try:
+        ports = memory_connections(geometry, m)
+    except ValueError:
+        ports = -1
+    g(
+        f"{prefix}_expected_memory_ports",
+        "closed form memory connections (m+1 linear, 2 sqrt(m) mesh)",
+    ).set(ports, **labels)

@@ -1,0 +1,237 @@
+"""Span-based tracing with a Chrome ``trace_event`` JSON exporter.
+
+A :class:`Tracer` records *spans* — named intervals measured with the
+monotonic clock, tagged with arbitrary key/value pairs (node counts, edge
+counts, G-set counts, ...).  The pipeline stages of
+:mod:`repro.core.transform`, :mod:`repro.core.partitioner`,
+:mod:`repro.partitioning.cut_and_pile` and :mod:`repro.arrays.pipeline`
+open a span via :func:`stage_span`, which is a cheap no-op until a tracer
+is installed (:func:`install_tracer`) — library users pay nothing unless
+they ask for a trace.
+
+The exporter emits the Chrome ``trace_event`` format (``X`` complete
+events on wall-clock process 1, plus any raw events contributed by the
+simulator probes on their own process), so ``python -m repro trace
+--trace-out t.json`` produces a file that opens directly in Perfetto
+(https://ui.perfetto.dev) or ``chrome://tracing``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Any, Iterator
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "stage_span",
+    "install_tracer",
+    "uninstall_tracer",
+    "get_tracer",
+    "WALL_PID",
+    "SIM_PID",
+]
+
+#: Chrome-trace process ids: wall-clock pipeline spans vs. simulated cycles.
+WALL_PID = 1
+SIM_PID = 2
+
+
+def _jsonable(v: Any) -> Any:
+    if isinstance(v, Fraction):
+        return float(v)
+    if isinstance(v, (str, int, float, bool)) or v is None:
+        return v
+    return repr(v)
+
+
+@dataclass
+class Span:
+    """One named, tagged interval (times in nanoseconds, monotonic)."""
+
+    name: str
+    start_ns: int
+    end_ns: int | None = None
+    args: dict[str, Any] = field(default_factory=dict)
+    tid: int = 1
+
+    def tag(self, key: str, value: Any) -> "Span":
+        """Attach one key/value pair; chainable."""
+        self.args[key] = _jsonable(value)
+        return self
+
+    @property
+    def duration_ns(self) -> int:
+        if self.end_ns is None:
+            raise ValueError(f"span {self.name!r} not yet closed")
+        return self.end_ns - self.start_ns
+
+    @property
+    def duration_s(self) -> float:
+        return self.duration_ns / 1e9
+
+
+class _NullSpan:
+    """Singleton stand-in yielded when no tracer is installed."""
+
+    __slots__ = ()
+
+    def tag(self, key: str, value: Any) -> "_NullSpan":  # noqa: D102
+        return self
+
+    @property
+    def args(self) -> dict:  # noqa: D102
+        return {}
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects spans and raw Chrome events; exports trace JSON."""
+
+    def __init__(self, clock=time.perf_counter_ns) -> None:
+        self._clock = clock
+        self.t0_ns: int = clock()
+        self.spans: list[Span] = []
+        #: raw Chrome trace events (probes append simulator-time events)
+        self.extra_events: list[dict] = []
+        self._stack: list[Span] = []
+
+    @contextmanager
+    def span(self, name: str, **args: Any) -> Iterator[Span]:
+        """Open a span; the yielded object accepts ``.tag(k, v)``."""
+        s = Span(name=name, start_ns=self._clock(), tid=1)
+        for k, v in args.items():
+            s.tag(k, v)
+        self._stack.append(s)
+        try:
+            yield s
+        finally:
+            s.end_ns = self._clock()
+            self._stack.pop()
+            self.spans.append(s)
+
+    def instant(self, name: str, **args: Any) -> None:
+        """Record a zero-duration marker event."""
+        s = Span(name=name, start_ns=self._clock(), end_ns=None)
+        for k, v in args.items():
+            s.tag(k, v)
+        self.extra_events.append(
+            {
+                "name": name,
+                "ph": "i",
+                "ts": (s.start_ns - self.t0_ns) / 1e3,
+                "pid": WALL_PID,
+                "tid": 1,
+                "s": "t",
+                "args": s.args,
+            }
+        )
+
+    def add_chrome_event(self, event: dict) -> None:
+        """Append a pre-built Chrome trace event (probes use this)."""
+        self.extra_events.append(event)
+
+    def add_chrome_events(self, events: list[dict]) -> None:
+        for e in events:
+            self.add_chrome_event(e)
+
+    def find_spans(self, name: str) -> list[Span]:
+        """All closed spans with the given name."""
+        return [s for s in self.spans if s.name == name]
+
+    # -- export ---------------------------------------------------------
+
+    def to_chrome(self) -> dict:
+        """The whole trace as a Chrome ``trace_event`` JSON object.
+
+        Wall-clock spans become ``X`` (complete) events on process
+        :data:`WALL_PID`; timestamps are microseconds since the tracer was
+        created, as the format requires.  Probe-contributed events (on
+        :data:`SIM_PID`, where 1 "microsecond" = 1 simulated cycle) are
+        appended verbatim.
+        """
+        events: list[dict] = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": WALL_PID,
+                "tid": 0,
+                "args": {"name": "pipeline (wall clock)"},
+            },
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": SIM_PID,
+                "tid": 0,
+                "args": {"name": "simulator (1 us = 1 cycle)"},
+            },
+        ]
+        for s in self.spans:
+            events.append(
+                {
+                    "name": s.name,
+                    "ph": "X",
+                    "ts": (s.start_ns - self.t0_ns) / 1e3,
+                    "dur": (s.duration_ns) / 1e3,
+                    "pid": WALL_PID,
+                    "tid": s.tid,
+                    "cat": s.name.split(".", 1)[0],
+                    "args": s.args,
+                }
+            )
+        events.extend(self.extra_events)
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def write_chrome(self, path) -> int:
+        """Write the Chrome trace JSON to ``path``; returns event count."""
+        doc = self.to_chrome()
+        with open(path, "w") as fh:
+            json.dump(doc, fh)
+        return len(doc["traceEvents"])
+
+
+_TRACER: Tracer | None = None
+
+
+def get_tracer() -> Tracer | None:
+    """The installed tracer, or None when tracing is off."""
+    return _TRACER
+
+
+def install_tracer(tracer: Tracer | None = None) -> Tracer:
+    """Install (and return) the process-wide tracer; tracing turns on."""
+    global _TRACER
+    _TRACER = tracer if tracer is not None else Tracer()
+    return _TRACER
+
+
+def uninstall_tracer() -> Tracer | None:
+    """Turn tracing off; returns the tracer that was installed."""
+    global _TRACER
+    prev = _TRACER
+    _TRACER = None
+    return prev
+
+
+@contextmanager
+def stage_span(name: str, **args: Any) -> Iterator[Span | _NullSpan]:
+    """Span against the installed tracer, or a no-op when tracing is off.
+
+    This is the one call sites use::
+
+        with stage_span("transform.prune", graph=dg.name) as sp:
+            ...
+            sp.tag("nodes_out", len(out))
+    """
+    tracer = _TRACER
+    if tracer is None:
+        yield NULL_SPAN
+        return
+    with tracer.span(name, **args) as s:
+        yield s

@@ -23,6 +23,7 @@ from ..core.gsets import (
 )
 from ..core.metrics import PerformanceReport, evaluate_schedule
 from ..arrays.plan import ExecutionPlan, partitioned_plan
+from ..obs.tracing import stage_span
 
 __all__ = ["CutAndPile", "cut_and_pile"]
 
@@ -60,14 +61,27 @@ def cut_and_pile(
         Linear only — skew-align block boundaries (the paper's scheme;
         see :func:`repro.core.gsets.make_linear_gsets`).
     """
-    if geometry == "linear":
-        plan = make_linear_gsets(gg, m, aligned=aligned)
-    elif geometry == "mesh":
-        plan = make_mesh_gsets(gg, m, shape=mesh_shape)
-    else:
-        raise ValueError(f"unknown geometry {geometry!r}")
-    order = schedule_gsets(plan, policy)
-    verify_schedule(plan, order)
-    exec_plan = partitioned_plan(plan, order)
-    report = evaluate_schedule(plan, order)
+    with stage_span(
+        "cut_and_pile.select_gsets", geometry=geometry, m=m,
+        gnodes=len(gg.gnodes), gedges=gg.g.number_of_edges(),
+    ) as sp:
+        if geometry == "linear":
+            plan = make_linear_gsets(gg, m, aligned=aligned)
+        elif geometry == "mesh":
+            plan = make_mesh_gsets(gg, m, shape=mesh_shape)
+        else:
+            raise ValueError(f"unknown geometry {geometry!r}")
+        sp.tag("gsets", len(plan.gsets))
+        sp.tag("boundary_gsets", plan.boundary_sets())
+    with stage_span("cut_and_pile.schedule", policy=policy, gsets=len(plan.gsets)):
+        order = schedule_gsets(plan, policy)
+        verify_schedule(plan, order)
+    with stage_span("cut_and_pile.exec_plan", gsets=len(order)) as sp:
+        exec_plan = partitioned_plan(plan, order)
+        sp.tag("fires", len(exec_plan.fires))
+        sp.tag("makespan", exec_plan.makespan)
+    with stage_span("cut_and_pile.evaluate", gsets=len(order)) as sp:
+        report = evaluate_schedule(plan, order)
+        sp.tag("total_time", report.total_time)
+        sp.tag("memory_words", report.memory_words)
     return CutAndPile(gg=gg, plan=plan, order=order, exec_plan=exec_plan, report=report)

@@ -13,7 +13,7 @@ from repro.core.ggraph import GGraph, group_by_columns
 from repro.core.graph import GraphError
 from repro.core.gsets import make_linear_gsets, make_mesh_gsets, schedule_gsets
 from repro.core.metrics import evaluate_schedule, schedule_memory_traffic
-from repro.arrays.cycle_sim import simulate
+from repro.arrays.cycle_sim import SimResult, SimulationError, simulate
 from repro.arrays.plan import (
     fixed_array_plan,
     fixed_linear_plan,
@@ -110,6 +110,83 @@ class TestMeasurements:
         assert res.required_host_bandwidth(preload=n * m) <= res.required_host_bandwidth()
 
 
+def make_result(**overrides) -> SimResult:
+    base = dict(
+        outputs={},
+        makespan=0,
+        cells=0,
+        busy=0,
+        useful=0,
+        memory_words=0,
+        memory_reads=0,
+        input_deadlines={},
+        input_cells=set(),
+    )
+    base.update(overrides)
+    return SimResult(**base)
+
+
+class TestDegenerateResults:
+    """Empty/degenerate runs must yield ratios of 0, not ZeroDivisionError."""
+
+    def test_zero_makespan_and_cells(self) -> None:
+        from fractions import Fraction
+
+        res = make_result()
+        assert res.utilization == Fraction(0)
+        assert res.occupancy == Fraction(0)
+        assert res.average_host_bandwidth() == Fraction(0)
+
+    def test_zero_makespan_nonzero_cells(self) -> None:
+        from fractions import Fraction
+
+        res = make_result(cells=4)
+        assert res.utilization == Fraction(0)
+        assert res.occupancy == Fraction(0)
+
+    def test_zero_cells_nonzero_makespan(self) -> None:
+        from fractions import Fraction
+
+        res = make_result(makespan=10)
+        assert res.utilization == Fraction(0)
+        assert res.occupancy == Fraction(0)
+
+    def test_no_inputs_means_empty_curve_and_zero_rate(self) -> None:
+        from fractions import Fraction
+
+        res = make_result(makespan=10, cells=3)
+        assert res.io_demand_curve() == []
+        assert res.required_host_bandwidth() == Fraction(0)
+
+    def test_preload_larger_than_total_words(self) -> None:
+        from fractions import Fraction
+
+        res = make_result(
+            makespan=10, cells=3,
+            input_deadlines={"a": 2, "b": 5, "c": 7},
+        )
+        assert res.required_host_bandwidth(preload=99) == Fraction(0)
+        assert res.required_host_bandwidth(preload=3) == Fraction(0)
+
+    def test_deadline_at_cycle_zero_must_be_preloaded(self) -> None:
+        """Words due at t=0 cannot be streamed at any finite rate; the
+        bandwidth bound only covers t > 0 deadlines, so the t=0 word
+        is implicitly part of the preload."""
+        from fractions import Fraction
+
+        res = make_result(
+            makespan=8, cells=2,
+            input_deadlines={"x": 0, "y": 4},
+        )
+        curve = res.io_demand_curve()
+        assert curve == [(0, 1), (4, 2)]
+        # Only the t=4 deadline constrains the streaming rate:
+        # 2 cumulative words by cycle 4 -> 1/2 word/cycle.
+        assert res.required_host_bandwidth() == Fraction(2, 4)
+        # With one word preloaded the rate drops to 1/4.
+        assert res.required_host_bandwidth(preload=1) == Fraction(1, 4)
+
+
 class TestViolationDetection:
     def test_tampered_plan_is_caught(self) -> None:
         dg, _, _, _, ep = build(6, 3)
@@ -134,6 +211,24 @@ class TestViolationDetection:
         ep.fires[victim] = (ep.fires[victim][0], ep.fires[cons][1] + 9)
         with pytest.raises(GraphError, match="violation"):
             simulate(ep, dg, make_inputs(random_adjacency(6, seed=0)), strict=True)
+
+    def test_strict_mode_carries_structured_violation(self) -> None:
+        """SimulationError exposes the Violation object, not just a string."""
+        dg, _, _, _, ep = build(6, 3)
+        victim = next(
+            nid for nid in ep.fires if list(dg.g.successors(nid))
+        )
+        cons = next(c for c in dg.g.successors(victim) if c in ep.fires)
+        ep.fires[victim] = (ep.fires[victim][0], ep.fires[cons][1] + 9)
+        with pytest.raises(SimulationError) as exc:
+            simulate(ep, dg, make_inputs(random_adjacency(6, seed=0)), strict=True)
+        v = exc.value.violation
+        assert v.producer == victim
+        assert v.slack < 0
+        assert v.kind in ("timing", "memory-timing")
+        assert str(v) == str(exc.value)
+        # Backwards compatible: it still *is* a GraphError.
+        assert isinstance(exc.value, GraphError)
 
     def test_missing_plan_entry_raises(self) -> None:
         dg, _, _, _, ep = build(5, 3)

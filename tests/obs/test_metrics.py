@@ -1,0 +1,120 @@
+"""Tests for the metrics registry and its exporters."""
+
+from __future__ import annotations
+
+import json
+from fractions import Fraction
+
+import pytest
+
+from repro.obs import MetricsRegistry, get_registry, set_registry
+from repro.obs.metrics import Counter, Gauge, Histogram
+
+
+class TestCounter:
+    def test_inc_and_value(self) -> None:
+        reg = MetricsRegistry()
+        c = reg.counter("events_total", "help text")
+        c.inc()
+        c.inc(4)
+        assert c.value() == 5
+
+    def test_labelled_series_are_independent(self) -> None:
+        c = MetricsRegistry().counter("x")
+        c.inc(2, kind="a")
+        c.inc(3, kind="b")
+        assert c.value(kind="a") == 2
+        assert c.value(kind="b") == 3
+        assert c.value() == 0
+
+    def test_label_order_does_not_matter(self) -> None:
+        c = MetricsRegistry().counter("x")
+        c.inc(1, a="1", b="2")
+        assert c.value(b="2", a="1") == 1
+
+    def test_counter_cannot_decrease(self) -> None:
+        c = MetricsRegistry().counter("x")
+        with pytest.raises(ValueError, match="cannot decrease"):
+            c.inc(-1)
+
+
+class TestGauge:
+    def test_set_and_fraction_values(self) -> None:
+        g = MetricsRegistry().gauge("util")
+        g.set(Fraction(2, 3))
+        assert g.value() == Fraction(2, 3)
+
+    def test_inc(self) -> None:
+        g = MetricsRegistry().gauge("x")
+        g.inc(5)
+        g.inc(-2)
+        assert g.value() == 3
+
+
+class TestHistogram:
+    def test_observe_buckets(self) -> None:
+        h = MetricsRegistry().histogram("lat", buckets=(1.0, 10.0))
+        for v in (0.5, 2.0, 20.0):
+            h.observe(v)
+        assert h.count() == 3
+        assert h.sum() == pytest.approx(22.5)
+
+    def test_prometheus_cumulative_buckets(self) -> None:
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=(1.0, 10.0))
+        h.observe(0.5)
+        h.observe(5.0)
+        text = reg.to_prometheus()
+        assert 'lat_bucket{le="1.0"} 1' in text
+        assert 'lat_bucket{le="10.0"} 2' in text
+        assert 'lat_bucket{le="+Inf"} 2' in text
+        assert "lat_count 2" in text
+
+    def test_empty_buckets_rejected(self) -> None:
+        with pytest.raises(ValueError, match="at least one bucket"):
+            MetricsRegistry().histogram("x", buckets=())
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instance(self) -> None:
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+
+    def test_type_conflict_raises(self) -> None:
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(TypeError, match="already registered"):
+            reg.gauge("a")
+
+    def test_prometheus_text_format(self) -> None:
+        reg = MetricsRegistry()
+        reg.counter("events_total", "things that happened").inc(7, exp="F18")
+        reg.gauge("util").set(Fraction(1, 2))
+        text = reg.to_prometheus()
+        assert "# HELP events_total things that happened" in text
+        assert "# TYPE events_total counter" in text
+        assert 'events_total{exp="F18"} 7' in text
+        assert "util 0.5" in text
+
+    def test_json_roundtrips(self) -> None:
+        reg = MetricsRegistry()
+        reg.gauge("g").set(Fraction(1, 4), n=12)
+        doc = json.loads(reg.dump_json())
+        assert doc["g"]["type"] == "gauge"
+        assert doc["g"]["series"] == [{"labels": {"n": "12"}, "value": 0.25}]
+
+    def test_reset_and_len(self) -> None:
+        reg = MetricsRegistry()
+        reg.counter("a")
+        reg.gauge("b")
+        assert len(reg) == 2 and "a" in reg
+        reg.reset()
+        assert len(reg) == 0
+
+    def test_global_registry_swap(self) -> None:
+        mine = MetricsRegistry()
+        prev = set_registry(mine)
+        try:
+            assert get_registry() is mine
+        finally:
+            set_registry(prev)

@@ -1,0 +1,187 @@
+"""Tests for span tracing and the Chrome trace-event exporter."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import (
+    Tracer,
+    get_tracer,
+    install_tracer,
+    stage_span,
+    uninstall_tracer,
+)
+from repro.obs.tracing import NULL_SPAN, SIM_PID, WALL_PID
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_tracer():
+    """Every test starts and ends with tracing off."""
+    uninstall_tracer()
+    yield
+    uninstall_tracer()
+
+
+class TestTracer:
+    def test_span_records_duration_and_tags(self) -> None:
+        t = Tracer()
+        with t.span("stage.one", n=6) as s:
+            s.tag("nodes_out", 42)
+        assert len(t.spans) == 1
+        done = t.spans[0]
+        assert done.name == "stage.one"
+        assert done.args == {"n": 6, "nodes_out": 42}
+        assert done.duration_ns >= 0
+
+    def test_nested_spans_both_recorded(self) -> None:
+        t = Tracer()
+        with t.span("outer"):
+            with t.span("inner"):
+                pass
+        assert [s.name for s in t.spans] == ["inner", "outer"]
+
+    def test_span_closed_on_exception(self) -> None:
+        t = Tracer()
+        with pytest.raises(RuntimeError):
+            with t.span("bad"):
+                raise RuntimeError("boom")
+        assert t.spans[0].end_ns is not None
+
+    def test_find_spans(self) -> None:
+        t = Tracer()
+        with t.span("a"):
+            pass
+        with t.span("a"):
+            pass
+        assert len(t.find_spans("a")) == 2
+        assert t.find_spans("b") == []
+
+    def test_fraction_tags_become_floats(self) -> None:
+        from fractions import Fraction
+
+        t = Tracer()
+        with t.span("s", ratio=Fraction(1, 2)):
+            pass
+        assert t.spans[0].args["ratio"] == 0.5
+
+
+class TestChromeExport:
+    def test_trace_event_schema(self, tmp_path) -> None:
+        t = Tracer()
+        with t.span("stage.alpha", n=5):
+            pass
+        t.instant("marker", hint="here")
+        t.add_chrome_event(
+            {"name": "fires/cycle", "ph": "C", "ts": 3.0, "pid": SIM_PID,
+             "tid": 0, "args": {"fires/cycle": 2}}
+        )
+        path = tmp_path / "t.json"
+        count = t.write_chrome(path)
+        doc = json.loads(path.read_text())
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        events = doc["traceEvents"]
+        assert len(events) == count
+        for ev in events:
+            assert {"name", "ph", "pid"} <= set(ev)
+            if ev["ph"] == "X":
+                assert "ts" in ev and "dur" in ev and ev["dur"] >= 0
+        x = [e for e in events if e["ph"] == "X"]
+        assert x[0]["name"] == "stage.alpha"
+        assert x[0]["pid"] == WALL_PID
+        assert x[0]["args"]["n"] == 5
+
+    def test_process_metadata_present(self) -> None:
+        doc = Tracer().to_chrome()
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert {e["pid"] for e in meta} == {WALL_PID, SIM_PID}
+
+
+class TestStageSpan:
+    def test_noop_without_tracer(self) -> None:
+        assert get_tracer() is None
+        with stage_span("anything", n=1) as sp:
+            assert sp is NULL_SPAN
+            sp.tag("x", 1)  # must be harmless
+
+    def test_records_when_installed(self) -> None:
+        t = install_tracer()
+        with stage_span("stage.beta", m=4) as sp:
+            sp.tag("out", 9)
+        assert t.find_spans("stage.beta")[0].args == {"m": 4, "out": 9}
+
+    def test_install_uninstall_roundtrip(self) -> None:
+        t = install_tracer()
+        assert get_tracer() is t
+        assert uninstall_tracer() is t
+        assert get_tracer() is None
+
+
+class TestPipelineIntegration:
+    def test_partition_pipeline_emits_stage_spans(self) -> None:
+        from repro import partition_transitive_closure
+
+        t = install_tracer()
+        impl = partition_transitive_closure(n=6, m=3)
+        _ = impl.exec_plan
+        names = {s.name for s in t.spans}
+        assert {
+            "frontend.tc_regular",
+            "partition.group",
+            "partition.select_gsets",
+            "partition.schedule",
+            "partition.verify",
+            "partition.evaluate",
+            "arrays.partitioned_plan",
+        } <= names
+        group = t.find_spans("partition.group")[0]
+        assert group.args["nodes"] > 0 and group.args["gnodes"] > 0
+
+    def test_transforms_emit_spans_with_node_counts(self) -> None:
+        from repro.algorithms.transitive_closure import tc_pruned
+        from repro.core.transform import pipeline_broadcasts
+
+        t = install_tracer()
+        dg = tc_pruned(5)
+        pipeline_broadcasts(dg)
+        span = t.find_spans("transform.pipeline_broadcasts")[0]
+        assert span.args["nodes_in"] == len(dg)
+        assert span.args["edges_in"] > 0
+        assert "nodes_out" in span.args
+
+    def test_cut_and_pile_emits_spans(self) -> None:
+        from repro.algorithms.transitive_closure import tc_regular
+        from repro.core.ggraph import GGraph, group_by_columns
+        from repro.partitioning.cut_and_pile import cut_and_pile
+
+        t = install_tracer()
+        cut_and_pile(GGraph(tc_regular(6), group_by_columns), 3)
+        names = {s.name for s in t.spans}
+        assert {
+            "cut_and_pile.select_gsets",
+            "cut_and_pile.schedule",
+            "cut_and_pile.exec_plan",
+            "cut_and_pile.evaluate",
+        } <= names
+
+    def test_chained_instances_emit_spans(self) -> None:
+        from repro.algorithms.transitive_closure import (
+            make_inputs,
+            tc_regular,
+        )
+        from repro.algorithms.warshall import random_adjacency
+        from repro.arrays.pipeline import run_chained_instances
+        from repro.arrays.plan import fixed_array_plan, min_initiation_interval
+        from repro.core.ggraph import GGraph, group_by_columns
+
+        n = 5
+        dg = tc_regular(n)
+        gg = GGraph(dg, group_by_columns)
+        ep = fixed_array_plan(gg)
+        delta = min_initiation_interval(ep)
+        envs = [make_inputs(random_adjacency(n, seed=s)) for s in (0, 1)]
+        t = install_tracer()
+        run_chained_instances(dg, ep, envs, delta)
+        names = {s.name for s in t.spans}
+        assert {"chain.replicate_graph", "chain.chain_plans", "sim.simulate"} <= names

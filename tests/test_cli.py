@@ -58,6 +58,57 @@ def test_fixed(capsys) -> None:
     assert "II=6" in out and "correct=True" in out
 
 
+def test_trace_writes_chrome_json(capsys, tmp_path) -> None:
+    import json
+
+    out_file = tmp_path / "trace.json"
+    out = run_cli(capsys, "trace", "--n", "6", "--m", "3",
+                  "--trace-out", str(out_file))
+    assert "stages traced" in out
+    doc = json.loads(out_file.read_text())
+    events = doc["traceEvents"]
+    names = {e["name"] for e in events}
+    # Wall-clock pipeline stages and per-cycle simulator events coexist.
+    assert {"partition.group", "partition.schedule", "sim.simulate"} <= names
+    assert any(e["ph"] == "X" and e["pid"] == 2 for e in events)  # sim fires
+    assert any(e["ph"] == "C" for e in events)  # counter tracks
+    for ev in events:
+        assert {"name", "ph", "pid"} <= set(ev)
+
+
+def test_stats_prometheus_and_json(capsys) -> None:
+    import json
+
+    prom = run_cli(capsys, "stats", "--n", "8", "--m", "3")
+    assert "# TYPE repro_sim_makespan_cycles gauge" in prom
+    assert "repro_sim_utilization" in prom
+    assert "repro_expected_throughput" in prom
+    assert "measured vs closed form" in prom
+
+    out = run_cli(capsys, "stats", "--n", "8", "--m", "3",
+                  "--format", "json")
+    body = out.split("# measured vs closed form")[0]
+    doc = json.loads(body)
+    assert doc["repro_sim_makespan_cycles"]["type"] == "gauge"
+
+
+def test_partition_trace_out(capsys, tmp_path) -> None:
+    import json
+
+    out_file = tmp_path / "p.json"
+    out = run_cli(capsys, "partition", "--n", "8", "--m", "3", "--simulate",
+                  "--trace-out", str(out_file))
+    assert "correct=True" in out
+    assert str(out_file) in out
+    doc = json.loads(out_file.read_text())
+    assert doc["traceEvents"]
+
+
+def test_partition_trace_out_requires_simulate() -> None:
+    assert main(["partition", "--n", "8", "--m", "3",
+                 "--trace-out", "x.json"]) == 2
+
+
 def test_parser_requires_command() -> None:
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
