@@ -20,5 +20,9 @@ def test_chained_instances_throughput(benchmark):
     assert occs == sorted(occs)
     save_table(
         "A-CHAIN", "fixed array: k chained instances, makespan slope = n",
-        format_table(rows),
+        format_table(rows), rows=rows, n=rows[-1]["n"],
+        perf_metrics={
+            "chained_makespan_cycles": rows[-1]["makespan"],
+            "initiation_interval_cycles": rows[-1]["delta"],
+        },
     )

@@ -26,4 +26,5 @@ def test_fig12_16_transformation_pipeline(benchmark):
     assert by["regular"]["unidirectional"]
     assert by["regular"]["stencils"] < by["unidirectional"]["stencils"]
     assert GGraph(tc_regular(N_DEFAULT), group_by_columns).is_nearest_neighbour()
-    save_table("F12-F16", "transformation pipeline property census", format_table(rows))
+    save_table("F12-F16", "transformation pipeline property census",
+               format_table(rows), rows=rows, n=N_DEFAULT)

@@ -20,7 +20,12 @@ def test_fig18_linear_partitioned(benchmark):
         if (r["n"] + 1) % r["m"] == 0:  # paper's divisibility assumption
             assert r["T_measured"] == r["T_paper"]
             assert abs(r["U_measured"] - r["U_paper"]) < 1e-12
+    largest = rows[-1]
     save_table(
         "F18", "linear partitioned array: measured vs Sec. 4.2 formulas",
-        format_table(rows), rows=rows,
+        format_table(rows), rows=rows, n=largest["n"], m=largest["m"],
+        perf_metrics={
+            "stall_cycles_total": sum(r["stalls"] for r in rows),
+            "violations_total": sum(r["violations"] for r in rows),
+        },
     )

@@ -18,5 +18,12 @@ def test_fig21_io_bandwidth(benchmark):
         assert r["avg_D_IO"] <= r["paper_m/n"]
         assert r["avg_D_IO"] > 0.5 * r["paper_m/n"]
         assert r["words"] == r["n"] ** 2
+    largest = rows[-1]
     save_table("F21", "host bandwidth m/n with the R-block chain",
-               format_table(rows), rows=rows)
+               format_table(rows), rows=rows,
+               n=largest["n"], m=largest["m"],
+               perf_metrics={
+                   "input_words_total": sum(r["words"] for r in rows),
+                   "max_avg_d_io": max(r["avg_D_IO"] for r in rows),
+                   "max_r_memory_words": max(r["max_R_memory"] for r in rows),
+               })

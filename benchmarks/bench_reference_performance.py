@@ -53,5 +53,6 @@ def test_reference_vectorization(benchmark):
     assert speedups == sorted(speedups)
     save_table(
         "A-PERF", "software-oracle vectorization (guide-driven)",
-        format_table(rows), rows=rows,
+        format_table(rows), rows=rows, n=rows[-1]["n"],
+        perf_metrics={"oracle_vectorized_ms": rows[-1]["vectorized_ms"]},
     )

@@ -1,0 +1,30 @@
+"""Benchmark-harness pytest hooks.
+
+Adds ``--bench-quiet`` (short: ``-Q`` is taken by pytest, so spell it
+out) which silences the stderr table echo in :mod:`_common` — CI perf
+runs keep their timing output clean while the artefacts under
+``benchmarks/out/`` are still written.  Locally, echoing stays the
+default; ``REPRO_BENCH_QUIET=1`` in the environment works too (useful
+outside pytest).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--bench-quiet",
+        action="store_true",
+        default=False,
+        help="suppress the benchmark table echo on stderr "
+             "(tables are still saved under benchmarks/out/)",
+    )
+
+
+def pytest_configure(config: pytest.Config) -> None:
+    if config.getoption("--bench-quiet"):
+        import _common
+
+        _common.set_quiet(True)

@@ -36,7 +36,14 @@ from .plan import ExecutionPlan
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..obs.probe import Probe
 
-__all__ = ["SimResult", "SimulationError", "Violation", "simulate"]
+__all__ = [
+    "SimResult",
+    "SimulationError",
+    "Violation",
+    "simulate",
+    "cell_fire_counts",
+    "cell_utilization",
+]
 
 
 @dataclass(frozen=True)
@@ -160,6 +167,35 @@ class SimResult:
             for j in range(n):
                 m[i, j] = self.outputs[("out", i, j)]
         return m
+
+
+def cell_fire_counts(probe: "Probe") -> dict[Hashable, int]:
+    """Fires per cell from a recording probe's event stream.
+
+    ``probe`` duck-types :class:`~repro.obs.probe.RecordingProbe` (needs
+    ``.fires``).  The dashboard's per-cell heatmap is this dict on a
+    grid; the totals tie back to :attr:`SimResult.busy`.
+    """
+    counts: dict[Hashable, int] = {}
+    for f in probe.fires:
+        counts[f.cell] = counts.get(f.cell, 0) + 1
+    return counts
+
+
+def cell_utilization(
+    probe: "Probe", makespan: int
+) -> dict[Hashable, Fraction]:
+    """Per-cell busy fraction: fires in the cell over the run's makespan.
+
+    ``Fraction(0)`` per cell on a degenerate (zero-makespan) run, the
+    same convention as :attr:`SimResult.utilization`.
+    """
+    if makespan <= 0:
+        return {cell: Fraction(0) for cell in cell_fire_counts(probe)}
+    return {
+        cell: Fraction(fires, makespan)
+        for cell, fires in cell_fire_counts(probe).items()
+    }
 
 
 def simulate(

@@ -123,11 +123,14 @@ def run_chained_instances(
     input_envs: Sequence[Mapping[NodeId, Any]],
     delta: int,
     semiring: Semiring = BOOLEAN,
+    probe: Any = None,
 ) -> ChainedRun:
     """Co-simulate ``len(input_envs)`` instances offset by ``delta`` cycles.
 
     Raises (via plan validation) if any cell would be double-booked;
     returns per-instance outputs plus the combined simulation result.
+    ``probe`` (any :class:`repro.obs.probe.Probe`) watches the combined
+    run — node ids in its events carry the ``("inst", i, ...)`` prefix.
     """
     k = len(input_envs)
     with stage_span(
@@ -147,7 +150,7 @@ def run_chained_instances(
     for i, env in enumerate(input_envs):
         for nid, value in env.items():
             big_inputs[("inst", i, nid)] = value
-    res = simulate(big_plan, big_dg, big_inputs, semiring)
+    res = simulate(big_plan, big_dg, big_inputs, semiring, probe=probe)
     outputs: list[dict[NodeId, Any]] = [dict() for _ in range(k)]
     for nid, value in res.outputs.items():
         _, i, orig = nid

@@ -10,6 +10,9 @@ Examples::
     python -m repro fixed --n 9
     python -m repro trace --n 12 --m 4 --trace-out t.json
     python -m repro stats --n 12 --m 4
+    python -m repro perfcheck --baseline benchmarks/perf_baseline.json \\
+        --current benchmarks/out/history.jsonl
+    python -m repro dashboard --out dash.html --n 9 --m 3
 """
 
 from __future__ import annotations
@@ -101,6 +104,48 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--seed", type=int, default=0)
     s.add_argument("--format", choices=("prom", "json"), default="prom",
                    help="registry export format (default: Prometheus text)")
+
+    s = sub.add_parser(
+        "perfcheck",
+        help="compare two perf artefacts (history/baseline/trajectory) and "
+             "exit non-zero on regression",
+    )
+    s.add_argument("--baseline", required=True, metavar="FILE",
+                   help="baseline artefact: baseline/trajectory JSON or "
+                        "history JSONL")
+    s.add_argument("--current", required=True, metavar="FILE",
+                   help="current artefact (same accepted formats)")
+    s.add_argument("--threshold", action="append", default=[],
+                   metavar="CLASS=REL",
+                   help="override a class threshold, e.g. wall_time=0.5 "
+                        "(classes: wall_time, sim_cycles, memory_traffic, "
+                        "host_bandwidth, other)")
+    s.add_argument("--classes", default=None,
+                   help="comma-separated metric classes to compare "
+                        "(default: all; CI uses the deterministic ones)")
+    s.add_argument("--update-baseline", action="store_true",
+                   help="instead of comparing, rewrite --baseline from the "
+                        "latest records of --current")
+
+    s = sub.add_parser(
+        "dashboard",
+        help="render the self-contained HTML performance dashboard "
+             "(per-cell heatmaps, occupancy lanes, measured-vs-closed-form "
+             "curves, perf trajectory)",
+    )
+    s.add_argument("--out", metavar="FILE", default="dashboard.html")
+    s.add_argument("--n", type=int, default=9)
+    s.add_argument("--m", type=int, default=3)
+    s.add_argument("--geometry", choices=("linear", "mesh"), default="linear")
+    s.add_argument("--policy", default="vertical")
+    s.add_argument("--seed", type=int, default=0)
+    s.add_argument("--sizes", default=None,
+                   help="comma-separated n values for the closed-form sweep "
+                        "(default: around --n)")
+    s.add_argument("--history", metavar="FILE",
+                   default="benchmarks/out/history.jsonl",
+                   help="benchmark history JSONL for the trajectory section "
+                        "(skipped when missing)")
     return p
 
 
@@ -348,6 +393,79 @@ def _cmd_stats(args) -> int:
     return 0 if (ok and res.ok) else 1
 
 
+def _cmd_perfcheck(args) -> int:
+    import json
+    from pathlib import Path
+
+    from .obs import perf
+
+    try:
+        current = perf.load_records(args.current)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"perfcheck: cannot read --current: {exc}", file=sys.stderr)
+        return 2
+    if args.update_baseline:
+        doc = {"version": perf.SCHEMA_VERSION, "experiments": current}
+        Path(args.baseline).write_text(
+            json.dumps(doc, indent=2, sort_keys=True, default=repr) + "\n"
+        )
+        print(f"perfcheck: baseline {args.baseline} updated "
+              f"({len(current)} experiment(s))")
+        return 0
+    try:
+        baseline = perf.load_records(args.baseline)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"perfcheck: cannot read --baseline: {exc}", file=sys.stderr)
+        return 2
+    thresholds = {}
+    for spec in args.threshold:
+        cls, _, value = spec.partition("=")
+        try:
+            thresholds[cls.strip()] = float(value)
+        except ValueError:
+            print(f"perfcheck: bad --threshold {spec!r} (want CLASS=REL)",
+                  file=sys.stderr)
+            return 2
+    classes = (
+        [c.strip() for c in args.classes.split(",") if c.strip()]
+        if args.classes else None
+    )
+    try:
+        regressions = perf.compare(
+            baseline, current, thresholds=thresholds, classes=classes
+        )
+    except ValueError as exc:
+        print(f"perfcheck: {exc}", file=sys.stderr)
+        return 2
+    print(perf.format_report(baseline, current, regressions, classes))
+    return 1 if regressions else 0
+
+
+def _cmd_dashboard(args) -> int:
+    from pathlib import Path
+
+    from .obs.dashboard import build_dashboard
+
+    sizes = None
+    if args.sizes:
+        try:
+            sizes = sorted({int(s) for s in args.sizes.split(",") if s.strip()})
+        except ValueError:
+            print(f"dashboard: bad --sizes {args.sizes!r} (want e.g. 6,9,12)",
+                  file=sys.stderr)
+            return 2
+    history = args.history if Path(args.history).exists() else None
+    html = build_dashboard(
+        n=args.n, m=args.m, geometry=args.geometry, policy=args.policy,
+        seed=args.seed, sizes=sizes, history_path=history,
+    )
+    Path(args.out).write_text(html)
+    print(f"dashboard: {args.out} ({len(html):,} bytes"
+          + (f", history from {history}" if history else ", no history")
+          + ")")
+    return 0
+
+
 _COMMANDS = {
     "stages": _cmd_stages,
     "partition": _cmd_partition,
@@ -358,6 +476,8 @@ _COMMANDS = {
     "reproduce": _cmd_reproduce,
     "trace": _cmd_trace,
     "stats": _cmd_stats,
+    "perfcheck": _cmd_perfcheck,
+    "dashboard": _cmd_dashboard,
 }
 
 

@@ -16,8 +16,16 @@ Three instruments, one package:
   which per-cell occupancy timelines, memory-traffic curves and the
   measured Fig. 21 I/O demand curve are derived.
 
-CLI: ``python -m repro trace --n 12 --m 4 --trace-out t.json`` and
-``python -m repro stats --n 12 --m 4``.  See ``docs/observability.md``.
+* :mod:`repro.obs.perf` — the **benchmark history store** (JSONL +
+  ``BENCH_PERF.json`` trajectory roll-up) and the **regression
+  detector** behind ``python -m repro perfcheck``.
+* :mod:`repro.obs.dashboard` — the self-contained **HTML dashboard**
+  (``python -m repro dashboard``); imported lazily (as
+  ``repro.obs.dashboard``) because it pulls in the viz layer.
+
+CLI: ``python -m repro trace --n 12 --m 4 --trace-out t.json``,
+``python -m repro stats --n 12 --m 4``, ``python -m repro perfcheck``,
+``python -m repro dashboard``.  See ``docs/observability.md``.
 """
 
 from .metrics import (  # noqa: F401
@@ -27,6 +35,23 @@ from .metrics import (  # noqa: F401
     MetricsRegistry,
     get_registry,
     set_registry,
+)
+from .perf import (  # noqa: F401
+    DEFAULT_THRESHOLDS,
+    METRIC_CLASSES,
+    SCHEMA_VERSION,
+    Regression,
+    append_history,
+    classify_metric,
+    compare,
+    current_commit,
+    latest_by_exp,
+    load_history,
+    load_records,
+    make_baseline,
+    make_record,
+    rollup,
+    write_trajectory,
 )
 from .probe import (  # noqa: F401
     FireEvent,
@@ -60,6 +85,21 @@ __all__ = [
     "MetricsRegistry",
     "get_registry",
     "set_registry",
+    "SCHEMA_VERSION",
+    "METRIC_CLASSES",
+    "DEFAULT_THRESHOLDS",
+    "Regression",
+    "classify_metric",
+    "current_commit",
+    "make_record",
+    "append_history",
+    "load_history",
+    "load_records",
+    "latest_by_exp",
+    "rollup",
+    "write_trajectory",
+    "make_baseline",
+    "compare",
     "Probe",
     "NullProbe",
     "RecordingProbe",

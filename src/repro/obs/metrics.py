@@ -18,11 +18,16 @@ Design notes
   export, where they are rendered as floats.
 * Labels are keyword arguments; a metric's series are keyed by the
   sorted ``(key, value)`` tuple so label order never matters.
+* Label names are validated at call time (Prometheus grammar; ``__*``,
+  ``le`` and ``quantile`` are reserved) and values must be scalars —
+  a clear ``ValueError``/``TypeError`` beats silently exporting invalid
+  text; values are backslash-escaped at export.
 """
 
 from __future__ import annotations
 
 import json
+import re
 import threading
 from fractions import Fraction
 from typing import Any, Iterable, Mapping
@@ -38,9 +43,42 @@ __all__ = [
 
 LabelKey = tuple[tuple[str, str], ...]
 
+#: Prometheus label-name grammar; ``__``-prefixed names (``__name__``)
+#: are reserved for internal use, ``le``/``quantile`` for histogram and
+#: summary buckets.
+_LABEL_NAME_RE = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*\Z")
+_RESERVED_LABELS = frozenset({"le", "quantile"})
+
+#: Label values must be scalars that stringify deterministically; an
+#: arbitrary object's ``str()`` can contain anything (quotes, newlines)
+#: and silently corrupt the text exposition format.
+_SCALAR_LABEL_TYPES = (str, bool, int, float, Fraction)
+
 
 def _label_key(labels: Mapping[str, Any]) -> LabelKey:
-    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+    items = []
+    for k, v in labels.items():
+        if (
+            not _LABEL_NAME_RE.match(k)
+            or k.startswith("__")
+            or k in _RESERVED_LABELS
+        ):
+            raise ValueError(
+                f"invalid or reserved label name {k!r}: labels must match "
+                f"[a-zA-Z_][a-zA-Z0-9_]* and must not start with '__' or "
+                f"be one of {sorted(_RESERVED_LABELS)}"
+            )
+        if not isinstance(v, _SCALAR_LABEL_TYPES):
+            raise TypeError(
+                f"label {k}={v!r}: values must be str, bool, int, float "
+                f"or Fraction (got {type(v).__name__})"
+            )
+        items.append((k, str(v)))
+    return tuple(sorted(items))
+
+
+def _escape_label_value(v: str) -> str:
+    return v.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
 
 
 def _render_value(v: Any) -> float | int:
@@ -52,7 +90,7 @@ def _render_value(v: Any) -> float | int:
 def _render_labels(key: LabelKey) -> str:
     if not key:
         return ""
-    inner = ",".join(f'{k}="{v}"' for k, v in key)
+    inner = ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in key)
     return "{" + inner + "}"
 
 

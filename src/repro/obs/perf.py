@@ -1,0 +1,351 @@
+"""Benchmark history store and performance-regression detection.
+
+The registry/probe layer (:mod:`repro.obs.metrics`, :mod:`repro.obs.probe`)
+measures one run; this module makes those measurements *persist* and
+*compare*:
+
+* **history store** — every benchmark run appends one JSON line to
+  ``benchmarks/out/history.jsonl`` (a :func:`make_record` dict keyed by
+  experiment id, git commit, and problem size), and the latest runs are
+  rolled up into a repo-root ``BENCH_PERF.json`` trajectory file so the
+  perf history travels with the repository;
+* **regression detector** — :func:`compare` diffs two sets of records
+  with per-*metric-class* relative thresholds (wall time is noisy;
+  simulated cycles, memory traffic and host bandwidth are deterministic
+  and must not move), returning structured :class:`Regression` objects;
+  ``python -m repro perfcheck`` wraps it with a non-zero exit code for
+  CI gating.
+
+Everything here is stdlib-only and file-format-first: records are plain
+dicts, stores are JSONL/JSON files, and loaders sniff the three shapes
+(single record, record list / JSONL, trajectory roll-up) so the CLI can
+point at any artefact the harness produces.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Sequence
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "DEFAULT_THRESHOLDS",
+    "METRIC_CLASSES",
+    "Regression",
+    "classify_metric",
+    "current_commit",
+    "make_record",
+    "append_history",
+    "load_history",
+    "load_records",
+    "latest_by_exp",
+    "rollup",
+    "write_trajectory",
+    "make_baseline",
+    "compare",
+    "format_report",
+]
+
+#: Schema version stamped into every JSON artefact this subsystem writes
+#: (history records, ``BENCH_PERF.json``, baselines, ``<exp_id>.json``).
+SCHEMA_VERSION = 1
+
+#: How many runs per experiment the ``BENCH_PERF.json`` roll-up keeps.
+TRAJECTORY_KEEP = 50
+
+#: Metric classes, in reporting order.  Every perf metric is classified
+#: by name into exactly one of these; each class carries its own
+#: regression threshold because their noise profiles differ wildly.
+METRIC_CLASSES = (
+    "wall_time", "sim_cycles", "memory_traffic", "host_bandwidth", "other",
+)
+
+#: Relative regression thresholds per metric class: ``current`` regresses
+#: when ``current > baseline * (1 + threshold)``.  Wall time jitters with
+#: the machine; the simulated measures are exact and budgeted ~0.
+DEFAULT_THRESHOLDS: dict[str, float] = {
+    "wall_time": 0.50,
+    "sim_cycles": 0.001,
+    "memory_traffic": 0.001,
+    "host_bandwidth": 0.01,
+    "other": 0.10,
+}
+
+_CLASS_PATTERNS: tuple[tuple[str, tuple[str, ...]], ...] = (
+    ("wall_time", ("wall", "_time_s", "duration", "_ms", "elapsed")),
+    ("sim_cycles", ("cycle", "makespan", "total_time", "stall")),
+    ("memory_traffic", ("memory", "words", "reads", "traffic", "r_memory")),
+    ("host_bandwidth", ("bandwidth", "d_io", "hostbw", "_io", "io_")),
+)
+
+
+def classify_metric(name: str) -> str:
+    """Map a metric name onto one of :data:`METRIC_CLASSES` by substring."""
+    low = name.lower()
+    for cls, needles in _CLASS_PATTERNS:
+        if any(n in low for n in needles):
+            return cls
+    return "other"
+
+
+def current_commit(repo_dir: str | Path | None = None) -> str | None:
+    """Short git commit id of ``repo_dir`` (or CWD); ``None`` off-repo."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=str(repo_dir) if repo_dir else None,
+            capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def make_record(
+    exp_id: str,
+    metrics: Mapping[str, float],
+    *,
+    title: str = "",
+    n: int | None = None,
+    m: int | None = None,
+    commit: str | None = None,
+    ts: float | None = None,
+) -> dict:
+    """One history record: experiment key + flat ``{metric: value}`` dict."""
+    return {
+        "version": SCHEMA_VERSION,
+        "exp_id": exp_id,
+        "title": title,
+        "ts": time.time() if ts is None else ts,
+        "commit": commit,
+        "n": n,
+        "m": m,
+        "metrics": {k: _as_number(v) for k, v in metrics.items()},
+    }
+
+
+def _as_number(v: Any) -> float | int:
+    if isinstance(v, bool):
+        return int(v)
+    if isinstance(v, (int, float)):
+        return v
+    return float(v)  # Fractions, Decimals, numpy scalars
+
+
+# ----------------------------------------------------------------------
+# Stores: history JSONL + trajectory roll-up
+# ----------------------------------------------------------------------
+
+def append_history(path: str | Path, record: Mapping) -> None:
+    """Append one record to the JSONL history file (created on demand)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("a") as fh:
+        fh.write(json.dumps(record, sort_keys=True, default=repr) + "\n")
+
+
+def load_history(path: str | Path) -> list[dict]:
+    """Read a JSONL history file; missing file -> empty history."""
+    path = Path(path)
+    if not path.exists():
+        return []
+    records = []
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if line:
+            records.append(json.loads(line))
+    return records
+
+
+def latest_by_exp(records: Iterable[Mapping]) -> dict[str, dict]:
+    """Last record per experiment id (records assumed chronological)."""
+    latest: dict[str, dict] = {}
+    for rec in records:
+        latest[rec["exp_id"]] = dict(rec)
+    return latest
+
+
+def rollup(records: Sequence[Mapping], keep: int = TRAJECTORY_KEEP) -> dict:
+    """The ``BENCH_PERF.json`` trajectory: last ``keep`` runs per exp."""
+    by_exp: dict[str, list[dict]] = {}
+    for rec in records:
+        by_exp.setdefault(rec["exp_id"], []).append(
+            {
+                "ts": rec.get("ts"),
+                "commit": rec.get("commit"),
+                "n": rec.get("n"),
+                "m": rec.get("m"),
+                "metrics": dict(rec.get("metrics", {})),
+            }
+        )
+    return {
+        "version": SCHEMA_VERSION,
+        "experiments": {
+            exp_id: {"runs": runs[-keep:]}
+            for exp_id, runs in sorted(by_exp.items())
+        },
+    }
+
+
+def write_trajectory(path: str | Path, records: Sequence[Mapping]) -> dict:
+    """Roll ``records`` up and write the trajectory file; return the doc."""
+    doc = rollup(records)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return doc
+
+
+def make_baseline(records: Iterable[Mapping]) -> dict:
+    """A committed-baseline document: the latest record per experiment."""
+    return {
+        "version": SCHEMA_VERSION,
+        "experiments": latest_by_exp(records),
+    }
+
+
+def load_records(path: str | Path) -> dict[str, dict]:
+    """Latest record per exp from *any* perf artefact.
+
+    Sniffs the format: ``.jsonl`` history, a baseline document
+    (``{"experiments": {exp: record}}``), a trajectory roll-up
+    (``{"experiments": {exp: {"runs": [...]}}}``), a JSON list of
+    records, or a single record.
+    """
+    path = Path(path)
+    if path.suffix == ".jsonl":
+        return latest_by_exp(load_history(path))
+    doc = json.loads(path.read_text())
+    if isinstance(doc, list):
+        return latest_by_exp(doc)
+    if "experiments" in doc:
+        out: dict[str, dict] = {}
+        for exp_id, entry in doc["experiments"].items():
+            if "runs" in entry:  # trajectory shape
+                if entry["runs"]:
+                    rec = dict(entry["runs"][-1])
+                    rec.setdefault("exp_id", exp_id)
+                    out[exp_id] = rec
+            else:  # baseline shape
+                out[exp_id] = dict(entry)
+        return out
+    if "exp_id" in doc:  # single record
+        return {doc["exp_id"]: doc}
+    raise ValueError(f"unrecognised perf artefact shape in {path}")
+
+
+# ----------------------------------------------------------------------
+# Regression detection
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Regression:
+    """One metric that moved past its class threshold."""
+
+    exp_id: str
+    metric: str
+    metric_class: str
+    baseline: float
+    current: float
+    threshold: float
+
+    @property
+    def ratio(self) -> float:
+        """``current / baseline`` (``inf`` for a zero baseline)."""
+        if self.baseline == 0:
+            return float("inf")
+        return self.current / self.baseline
+
+    def __str__(self) -> str:  # noqa: D105
+        pct = (self.ratio - 1.0) * 100 if self.ratio != float("inf") else float("inf")
+        return (
+            f"REGRESSION {self.exp_id}.{self.metric} [{self.metric_class}]: "
+            f"{self.baseline:.6g} -> {self.current:.6g} "
+            f"(+{pct:.1f}% > {self.threshold:.0%} allowed)"
+        )
+
+
+def compare(
+    baseline: Mapping[str, Mapping],
+    current: Mapping[str, Mapping],
+    thresholds: Mapping[str, float] | None = None,
+    classes: Sequence[str] | None = None,
+) -> list[Regression]:
+    """Diff two ``{exp_id: record}`` maps; return threshold breaches.
+
+    Only metrics present on *both* sides of an experiment are compared
+    (every perf metric here is higher-is-worse).  ``thresholds``
+    overrides :data:`DEFAULT_THRESHOLDS` per class; ``classes`` restricts
+    the comparison (e.g. CI skips the machine-dependent ``wall_time``).
+    """
+    limits = dict(DEFAULT_THRESHOLDS)
+    if thresholds:
+        unknown = set(thresholds) - set(METRIC_CLASSES)
+        if unknown:
+            raise ValueError(
+                f"unknown metric class(es) {sorted(unknown)}; "
+                f"expected one of {METRIC_CLASSES}"
+            )
+        limits.update(thresholds)
+    if classes is not None:
+        unknown = set(classes) - set(METRIC_CLASSES)
+        if unknown:
+            raise ValueError(
+                f"unknown metric class(es) {sorted(unknown)}; "
+                f"expected one of {METRIC_CLASSES}"
+            )
+    regressions: list[Regression] = []
+    for exp_id in sorted(set(baseline) & set(current)):
+        base_m = baseline[exp_id].get("metrics", {})
+        cur_m = current[exp_id].get("metrics", {})
+        for name in sorted(set(base_m) & set(cur_m)):
+            cls = classify_metric(name)
+            if classes is not None and cls not in classes:
+                continue
+            b, c = float(base_m[name]), float(cur_m[name])
+            if c > b * (1.0 + limits[cls]) + 1e-12:
+                regressions.append(
+                    Regression(
+                        exp_id=exp_id, metric=name, metric_class=cls,
+                        baseline=b, current=c, threshold=limits[cls],
+                    )
+                )
+    return regressions
+
+
+def format_report(
+    baseline: Mapping[str, Mapping],
+    current: Mapping[str, Mapping],
+    regressions: Sequence[Regression],
+    classes: Sequence[str] | None = None,
+) -> str:
+    """Human-readable perfcheck summary (what the CLI prints)."""
+    shared = sorted(set(baseline) & set(current))
+    lines = [
+        f"perfcheck: {len(shared)} experiment(s) compared"
+        + (f" [classes: {', '.join(classes)}]" if classes else ""),
+    ]
+    for exp_id in shared:
+        base_m = baseline[exp_id].get("metrics", {})
+        cur_m = current[exp_id].get("metrics", {})
+        n_shared = len(set(base_m) & set(cur_m))
+        bad = [r for r in regressions if r.exp_id == exp_id]
+        status = "FAIL" if bad else "ok"
+        lines.append(f"  {exp_id:>8}: {n_shared} metric(s) {status}")
+    only_base = sorted(set(baseline) - set(current))
+    only_cur = sorted(set(current) - set(baseline))
+    if only_base:
+        lines.append(f"  (baseline-only, skipped: {', '.join(only_base)})")
+    if only_cur:
+        lines.append(f"  (current-only, skipped: {', '.join(only_cur)})")
+    for r in regressions:
+        lines.append(str(r))
+    lines.append(
+        "perfcheck: FAIL" if regressions else "perfcheck: no regressions"
+    )
+    return "\n".join(lines)

@@ -1,4 +1,10 @@
-"""ASCII rendering of graphs, G-graphs, and schedules."""
+"""Rendering: ASCII figures for the terminal, inline SVG for HTML.
+
+:mod:`repro.viz.ascii_art` regenerates the paper's figures as text;
+:mod:`repro.viz.svg` provides the stdlib-only chart primitives
+(heatmap, line chart, occupancy lanes) the performance dashboard
+(:mod:`repro.obs.dashboard`) embeds.
+"""
 
 from .ascii_art import (  # noqa: F401
     render_ggraph_times,
@@ -7,4 +13,9 @@ from .ascii_art import (  # noqa: F401
     render_level_grid,
     render_gantt,
     format_table,
+)
+from .svg import (  # noqa: F401
+    svg_heatmap,
+    svg_lanes,
+    svg_line_chart,
 )

@@ -1,0 +1,375 @@
+"""Inline-SVG chart primitives for the HTML dashboard (stdlib only).
+
+Three chart forms, each returning an ``<svg>`` string ready to embed in
+an HTML page (:mod:`repro.obs.dashboard`):
+
+* :func:`svg_heatmap` — magnitude on a cell grid (per-cell fire counts /
+  utilization), one sequential blue ramp, light-to-dark;
+* :func:`svg_line_chart` — measured-vs-closed-form curves across problem
+  size and the perf trajectory, categorical hues in fixed slot order
+  with a legend and direct end labels;
+* :func:`svg_lanes` — per-cell occupancy timelines (cycle × cell), one
+  categorical hue per activity class.
+
+Design rules (shared with the palette the dashboard stylesheet defines):
+marks carry the series color, text wears ink tokens; gridlines are
+solid hairlines; markers are >= 8px with a 2px surface ring; every mark
+carries a native ``<title>`` tooltip so the charts are hoverable without
+any scripting.  Chrome colors are referenced as CSS custom properties
+with hex fallbacks, so the SVGs render standalone *and* theme with the
+embedding page.
+"""
+
+from __future__ import annotations
+
+import math
+from html import escape
+from typing import Mapping, Sequence
+
+__all__ = [
+    "CATEGORICAL",
+    "SEQ_RAMP",
+    "seq_color",
+    "ink_on",
+    "nice_ticks",
+    "svg_heatmap",
+    "svg_line_chart",
+    "svg_lanes",
+]
+
+#: Categorical slots 1-3 (validated fixed order; never cycled).  The
+#: dashboard's chart forms never seat more than three series.
+CATEGORICAL = ("#2a78d6", "#eb6834", "#1baf7a")
+
+#: Sequential blue ramp, steps 100 -> 700 (light = near zero).
+SEQ_RAMP = (
+    "#cde2fb", "#b7d3f6", "#9ec5f4", "#86b6ef", "#6da7ec", "#5598e7",
+    "#3987e5", "#2a78d6", "#256abf", "#1c5cab", "#184f95", "#104281",
+    "#0d366b",
+)
+
+_INK = "var(--text-primary, #0b0b0b)"
+_INK2 = "var(--text-secondary, #52514e)"
+_MUTED = "var(--muted, #898781)"
+_GRID = "var(--gridline, #e1e0d9)"
+_AXIS = "var(--baseline, #c3c2b7)"
+_SURFACE = "var(--surface-1, #fcfcfb)"
+_FONT = 'font-family="system-ui, -apple-system, \'Segoe UI\', sans-serif"'
+
+
+def _hex_rgb(color: str) -> tuple[int, int, int]:
+    color = color.lstrip("#")
+    return int(color[0:2], 16), int(color[2:4], 16), int(color[4:6], 16)
+
+
+def seq_color(t: float) -> str:
+    """Sequential ramp lookup: ``t`` in [0, 1] -> interpolated hex."""
+    t = min(1.0, max(0.0, t))
+    x = t * (len(SEQ_RAMP) - 1)
+    i = min(int(x), len(SEQ_RAMP) - 2)
+    f = x - i
+    a, b = _hex_rgb(SEQ_RAMP[i]), _hex_rgb(SEQ_RAMP[i + 1])
+    return "#%02x%02x%02x" % tuple(
+        round(a[c] + (b[c] - a[c]) * f) for c in range(3)
+    )
+
+
+def ink_on(fill: str) -> str:
+    """White or dark ink for a label *inside* ``fill``, by luminance."""
+    r, g, b = _hex_rgb(fill)
+    lum = 0.2126 * r + 0.7152 * g + 0.0722 * b
+    return "#ffffff" if lum < 140 else "#0b0b0b"
+
+
+def nice_ticks(lo: float, hi: float, n: int = 5) -> list[float]:
+    """~n round-number ticks covering [lo, hi]."""
+    if hi <= lo:
+        hi = lo + 1.0
+    raw = (hi - lo) / max(n, 1)
+    mag = 10.0 ** math.floor(math.log10(raw))
+    step = next(s * mag for s in (1, 2, 2.5, 5, 10) if s * mag >= raw)
+    start = math.floor(lo / step) * step
+    ticks = []
+    t = start
+    while t <= hi + step * 1e-9:
+        if t >= lo - step * 1e-9:
+            ticks.append(round(t, 10))
+        t += step
+    return ticks
+
+
+def _fmt_num(v: float) -> str:
+    if v == int(v) and abs(v) < 1e15:
+        return f"{int(v):,}"
+    return f"{v:.4g}"
+
+
+def _legend(names: Sequence[str], colors: Sequence[str], x: int, y: int) -> str:
+    """One horizontal legend row: colored key + ink label per series."""
+    parts, cx = [], x
+    for name, color in zip(names, colors):
+        parts.append(
+            f'<rect x="{cx}" y="{y - 8}" width="14" height="4" rx="2" '
+            f'fill="{color}"/>'
+        )
+        label = escape(str(name))
+        parts.append(
+            f'<text x="{cx + 18}" y="{y}" font-size="11" fill="{_INK2}">'
+            f"{label}</text>"
+        )
+        cx += 18 + 7 * len(label) + 18
+    return "".join(parts)
+
+
+def svg_heatmap(
+    values: Mapping[tuple[int, int], float],
+    title: str = "",
+    value_label: str = "value",
+    cell_px: int = 44,
+    max_value: float | None = None,
+) -> str:
+    """Grid heatmap from ``{(row, col): value}`` — one sequential hue.
+
+    Each cell is a ``<rect>`` carrying ``data-cell``/``data-count``
+    attributes (the tests match them against probe fire counts) and a
+    ``<title>`` tooltip; the in-cell value label flips between white and
+    ink by the fill's luminance.
+    """
+    if not values:
+        return "<svg " + _FONT + ' width="80" height="24"><text x="0" y="16" ' \
+            f'font-size="12" fill="{_MUTED}">(no data)</text></svg>'
+    rows = sorted({r for r, _ in values})
+    cols = sorted({c for _, c in values})
+    vmax = max_value if max_value is not None else max(values.values())
+    vmax = vmax or 1
+    left, top, gap = 46, 28, 2
+    w = left + len(cols) * (cell_px + gap) + 8
+    h = top + len(rows) * (cell_px + gap) + 22
+    out = [
+        f"<svg {_FONT} viewBox=\"0 0 {w} {h}\" width=\"{w}\" height=\"{h}\" "
+        f'role="img" aria-label="{escape(title)}">'
+    ]
+    if title:
+        out.append(
+            f'<text x="0" y="14" font-size="12" font-weight="600" '
+            f'fill="{_INK}">{escape(title)}</text>'
+        )
+    for j, c in enumerate(cols):
+        out.append(
+            f'<text x="{left + j * (cell_px + gap) + cell_px / 2}" '
+            f'y="{top - 6}" font-size="10" text-anchor="middle" '
+            f'fill="{_MUTED}">{escape(str(c))}</text>'
+        )
+    for i, r in enumerate(rows):
+        y = top + i * (cell_px + gap)
+        out.append(
+            f'<text x="{left - 8}" y="{y + cell_px / 2 + 4}" font-size="10" '
+            f'text-anchor="end" fill="{_MUTED}">{escape(str(r))}</text>'
+        )
+        for j, c in enumerate(cols):
+            x = left + j * (cell_px + gap)
+            if (r, c) not in values:
+                continue
+            v = values[(r, c)]
+            fill = seq_color(v / vmax)
+            label = _fmt_num(v)
+            out.append(
+                f'<rect x="{x}" y="{y}" width="{cell_px}" height="{cell_px}" '
+                f'rx="4" fill="{fill}" data-cell="{r},{c}" data-count="{v:g}">'
+                f"<title>cell ({r}, {c}): {label} {escape(value_label)}"
+                f"</title></rect>"
+            )
+            if len(label) * 7 <= cell_px - 6:
+                out.append(
+                    f'<text x="{x + cell_px / 2}" y="{y + cell_px / 2 + 4}" '
+                    f'font-size="11" text-anchor="middle" '
+                    f'fill="{ink_on(fill)}" pointer-events="none">{label}</text>'
+                )
+    out.append("</svg>")
+    return "".join(out)
+
+
+def svg_line_chart(
+    series: Sequence[tuple[str, Sequence[tuple[float, float]]]],
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+    width: int = 460,
+    height: int = 260,
+    step: bool = False,
+) -> str:
+    """Multi-series line chart; categorical slots in fixed order.
+
+    At most ``len(CATEGORICAL)`` series (the all-pairs-safe cap) — callers
+    with more must facet.  Every point gets a >= 8px marker with a 2px
+    surface ring and a ``<title>`` tooltip; series are direct-labeled at
+    their endpoints and a legend row is present whenever there are two
+    or more.
+    """
+    series = [(name, list(pts)) for name, pts in series if pts]
+    if not series:
+        return "<svg " + _FONT + ' width="80" height="24"><text x="0" y="16" ' \
+            f'font-size="12" fill="{_MUTED}">(no data)</text></svg>'
+    if len(series) > len(CATEGORICAL):
+        raise ValueError(
+            f"at most {len(CATEGORICAL)} series per chart (got {len(series)}); "
+            "facet into small multiples instead"
+        )
+    xs = [x for _, pts in series for x, _ in pts]
+    ys = [y for _, pts in series for _, y in pts]
+    x_lo, x_hi = min(xs), max(xs)
+    y_ticks = nice_ticks(min(0.0, min(ys)), max(ys) or 1.0)
+    y_lo, y_hi = y_ticks[0], y_ticks[-1]
+    left, right, top, bottom = 58, 96, 30, 40
+    pw, ph = width - left - right, height - top - bottom
+
+    def sx(x: float) -> float:
+        return left + (x - x_lo) / ((x_hi - x_lo) or 1) * pw
+
+    def sy(y: float) -> float:
+        return top + ph - (y - y_lo) / ((y_hi - y_lo) or 1) * ph
+
+    out = [
+        f"<svg {_FONT} viewBox=\"0 0 {width} {height}\" width=\"{width}\" "
+        f'height="{height}" role="img" aria-label="{escape(title)}">'
+    ]
+    if title:
+        out.append(
+            f'<text x="0" y="14" font-size="12" font-weight="600" '
+            f'fill="{_INK}">{escape(title)}</text>'
+        )
+    for t in y_ticks:
+        y = sy(t)
+        out.append(
+            f'<line x1="{left}" y1="{y:.1f}" x2="{left + pw}" y2="{y:.1f}" '
+            f'stroke="{_GRID}" stroke-width="1"/>'
+        )
+        out.append(
+            f'<text x="{left - 8}" y="{y + 4:.1f}" font-size="10" '
+            f'text-anchor="end" fill="{_MUTED}" '
+            f'style="font-variant-numeric: tabular-nums">{_fmt_num(t)}</text>'
+        )
+    out.append(
+        f'<line x1="{left}" y1="{top + ph}" x2="{left + pw}" y2="{top + ph}" '
+        f'stroke="{_AXIS}" stroke-width="1"/>'
+    )
+    for t in nice_ticks(x_lo, x_hi, 6):
+        if t < x_lo or t > x_hi:
+            continue
+        out.append(
+            f'<text x="{sx(t):.1f}" y="{top + ph + 16}" font-size="10" '
+            f'text-anchor="middle" fill="{_MUTED}" '
+            f'style="font-variant-numeric: tabular-nums">{_fmt_num(t)}</text>'
+        )
+    if x_label:
+        out.append(
+            f'<text x="{left + pw / 2}" y="{height - 6}" font-size="10" '
+            f'text-anchor="middle" fill="{_INK2}">{escape(x_label)}</text>'
+        )
+    if y_label:
+        out.append(
+            f'<text x="12" y="{top + ph / 2}" font-size="10" '
+            f'text-anchor="middle" fill="{_INK2}" '
+            f'transform="rotate(-90 12 {top + ph / 2})">{escape(y_label)}'
+            f"</text>"
+        )
+    for k, (name, pts) in enumerate(series):
+        color = CATEGORICAL[k]
+        pts = sorted(pts)
+        path = []
+        for idx, (x, y) in enumerate(pts):
+            if step and idx:
+                path.append(f"H {sx(x):.1f}")
+                path.append(f"V {sy(y):.1f}")
+            else:
+                path.append(
+                    f"{'M' if not idx else 'L'} {sx(x):.1f} {sy(y):.1f}"
+                )
+        out.append(
+            f'<path d="{" ".join(path)}" fill="none" stroke="{color}" '
+            f'stroke-width="2" stroke-linejoin="round" stroke-linecap="round"/>'
+        )
+        for x, y in pts:
+            out.append(
+                f'<circle cx="{sx(x):.1f}" cy="{sy(y):.1f}" r="4" '
+                f'fill="{color}" stroke="{_SURFACE}" stroke-width="2">'
+                f"<title>{escape(str(name))}: x={_fmt_num(x)}, "
+                f"y={_fmt_num(y)}</title></circle>"
+            )
+        ex, ey = pts[-1]
+        out.append(
+            f'<text x="{sx(ex) + 8:.1f}" y="{sy(ey) + 4:.1f}" font-size="10" '
+            f'fill="{_INK2}">{escape(str(name))}</text>'
+        )
+    if len(series) >= 2:
+        out.append(_legend([s[0] for s in series], CATEGORICAL, left, 24))
+    out.append("</svg>")
+    return "".join(out)
+
+
+def svg_lanes(
+    lanes: Mapping[str, Sequence[tuple[int, str]]],
+    makespan: int,
+    classes: Sequence[str],
+    title: str = "",
+    lane_px: int = 14,
+    width: int = 640,
+) -> str:
+    """Occupancy timeline: one lane per cell, one tick per busy cycle.
+
+    ``lanes`` maps a lane label to ``(cycle, activity-class)`` pairs
+    (idle cycles are simply absent — the surface shows through);
+    ``classes`` fixes the activity -> categorical-slot order.  A legend
+    row names the classes.
+    """
+    if len(classes) > len(CATEGORICAL):
+        raise ValueError(
+            f"at most {len(CATEGORICAL)} activity classes (got {len(classes)})"
+        )
+    color_of = dict(zip(classes, CATEGORICAL))
+    left, top = 70, 34
+    labels = list(lanes)
+    span = max(1, makespan)
+    pw = width - left - 14
+    tick = pw / span
+    h = top + len(labels) * (lane_px + 2) + 26
+    out = [
+        f"<svg {_FONT} viewBox=\"0 0 {width} {h}\" width=\"{width}\" "
+        f'height="{h}" role="img" aria-label="{escape(title)}">'
+    ]
+    if title:
+        out.append(
+            f'<text x="0" y="14" font-size="12" font-weight="600" '
+            f'fill="{_INK}">{escape(title)}</text>'
+        )
+    out.append(_legend(list(classes), CATEGORICAL, left, 28))
+    for i, label in enumerate(labels):
+        y = top + i * (lane_px + 2)
+        out.append(
+            f'<text x="{left - 8}" y="{y + lane_px - 3}" font-size="10" '
+            f'text-anchor="end" fill="{_MUTED}">{escape(str(label))}</text>'
+        )
+        for cycle, cls in lanes[label]:
+            x = left + cycle * tick
+            color = color_of.get(cls, CATEGORICAL[0])
+            out.append(
+                f'<rect x="{x:.2f}" y="{y}" width="{max(tick - 0.4, 0.8):.2f}" '
+                f'height="{lane_px}" fill="{color}">'
+                f"<title>{escape(str(label))} @ cycle {cycle}: "
+                f"{escape(str(cls))}</title></rect>"
+            )
+    axis_y = top + len(labels) * (lane_px + 2) + 4
+    out.append(
+        f'<line x1="{left}" y1="{axis_y}" x2="{left + pw}" y2="{axis_y}" '
+        f'stroke="{_AXIS}" stroke-width="1"/>'
+    )
+    for t in nice_ticks(0, span, 8):
+        if 0 <= t <= span:
+            out.append(
+                f'<text x="{left + t * tick:.1f}" y="{axis_y + 14}" '
+                f'font-size="10" text-anchor="middle" fill="{_MUTED}" '
+                f'style="font-variant-numeric: tabular-nums">{_fmt_num(t)}'
+                f"</text>"
+            )
+    out.append("</svg>")
+    return "".join(out)

@@ -118,3 +118,44 @@ class TestRegistry:
             assert get_registry() is mine
         finally:
             set_registry(prev)
+
+
+class TestLabelHardening:
+    """Reserved names and non-scalar values fail loudly at call time."""
+
+    @pytest.mark.parametrize("name", ["__name__", "le", "quantile", "9lives",
+                                      "has-dash", "__hidden"])
+    def test_reserved_or_invalid_label_names_rejected(self, name) -> None:
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError, match="invalid or reserved"):
+            reg.counter("c").inc(**{name: "x"})
+        with pytest.raises(ValueError, match="invalid or reserved"):
+            reg.gauge("g").set(1, **{name: "x"})
+        with pytest.raises(ValueError, match="invalid or reserved"):
+            reg.histogram("h").observe(1.0, **{name: "x"})
+
+    def test_non_scalar_label_values_rejected(self) -> None:
+        reg = MetricsRegistry()
+        with pytest.raises(TypeError, match="must be str"):
+            reg.counter("c").inc(exp=["F18"])
+        with pytest.raises(TypeError, match="must be str"):
+            reg.gauge("g").set(1, exp={"a": 1})
+        with pytest.raises(TypeError, match="must be str"):
+            reg.gauge("g").set(1, exp=None)
+
+    def test_scalar_label_values_still_accepted(self) -> None:
+        reg = MetricsRegistry()
+        g = reg.gauge("g")
+        g.set(1, n=12)                     # int (used all over the repo)
+        g.set(2, ratio=Fraction(1, 3))     # Fraction
+        g.set(3, flag=True, name="x")      # bool + str
+        assert g.value(n=12) == 1
+
+    def test_label_values_escaped_in_prometheus_text(self) -> None:
+        reg = MetricsRegistry()
+        reg.gauge("g").set(1, exp='quo"te\nnew\\line')
+        text = reg.to_prometheus()
+        assert 'exp="quo\\"te\\nnew\\\\line"' in text
+        # Still one metric line (the newline did not split it).
+        lines = [l for l in text.splitlines() if l.startswith("g{")]
+        assert len(lines) == 1

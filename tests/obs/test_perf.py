@@ -1,0 +1,233 @@
+"""Benchmark history store + regression gate (:mod:`repro.obs.perf`)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import perf
+
+
+def record(exp_id, metrics, **kw):
+    kw.setdefault("ts", 1000.0)
+    kw.setdefault("commit", "abc1234")
+    return perf.make_record(exp_id, metrics, **kw)
+
+
+class TestClassification:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("wall_time_s", "wall_time"),
+            ("oracle_vectorized_ms", "wall_time"),
+            ("chained_makespan_cycles", "sim_cycles"),
+            ("stall_cycles_total", "sim_cycles"),
+            ("input_words_total", "memory_traffic"),
+            ("max_r_memory_words", "memory_traffic"),
+            ("max_avg_d_io", "host_bandwidth"),
+            ("utilization", "other"),
+        ],
+    )
+    def test_classify(self, name, cls):
+        assert perf.classify_metric(name) == cls
+
+    def test_every_class_has_a_threshold(self):
+        assert set(perf.DEFAULT_THRESHOLDS) == set(perf.METRIC_CLASSES)
+
+
+class TestHistoryStore:
+    def test_append_and_load_roundtrip(self, tmp_path):
+        path = tmp_path / "deep" / "history.jsonl"
+        r1 = record("F18", {"stall_cycles_total": 0}, n=12, m=4)
+        r2 = record("F18", {"stall_cycles_total": 2}, n=12, m=4)
+        perf.append_history(path, r1)
+        perf.append_history(path, r2)
+        loaded = perf.load_history(path)
+        assert loaded == [r1, r2]
+        assert all(r["version"] == perf.SCHEMA_VERSION for r in loaded)
+
+    def test_load_missing_history_is_empty(self, tmp_path):
+        assert perf.load_history(tmp_path / "absent.jsonl") == []
+
+    def test_latest_by_exp_keeps_last(self):
+        recs = [
+            record("F18", {"x": 1}),
+            record("F21", {"x": 5}),
+            record("F18", {"x": 2}),
+        ]
+        latest = perf.latest_by_exp(recs)
+        assert latest["F18"]["metrics"] == {"x": 2}
+        assert latest["F21"]["metrics"] == {"x": 5}
+
+    def test_rollup_caps_runs_per_experiment(self):
+        recs = [record("F18", {"x": i}) for i in range(8)]
+        doc = perf.rollup(recs, keep=3)
+        runs = doc["experiments"]["F18"]["runs"]
+        assert [r["metrics"]["x"] for r in runs] == [5, 6, 7]
+        assert doc["version"] == perf.SCHEMA_VERSION
+
+    def test_write_trajectory_and_reload(self, tmp_path):
+        path = tmp_path / "BENCH_PERF.json"
+        recs = [record("F18", {"x": 1}), record("F18", {"x": 2})]
+        doc = perf.write_trajectory(path, recs)
+        assert json.loads(path.read_text()) == doc
+        # load_records sniffs the trajectory shape -> latest run.
+        assert perf.load_records(path)["F18"]["metrics"] == {"x": 2}
+
+    def test_load_records_all_shapes(self, tmp_path):
+        rec = record("F18", {"x": 3})
+        jsonl = tmp_path / "h.jsonl"
+        perf.append_history(jsonl, rec)
+        baseline = tmp_path / "base.json"
+        baseline.write_text(json.dumps(perf.make_baseline([rec])))
+        as_list = tmp_path / "list.json"
+        as_list.write_text(json.dumps([rec]))
+        single = tmp_path / "one.json"
+        single.write_text(json.dumps(rec))
+        for path in (jsonl, baseline, as_list, single):
+            assert perf.load_records(path)["F18"]["metrics"] == {"x": 3}
+
+    def test_load_records_rejects_unknown_shape(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"weird": true}')
+        with pytest.raises(ValueError, match="unrecognised"):
+            perf.load_records(bad)
+
+
+class TestCompare:
+    def base(self):
+        return perf.latest_by_exp(
+            [record("F18", {"wall_time_s": 1.0, "stall_cycles_total": 10})]
+        )
+
+    def test_identical_records_pass(self):
+        assert perf.compare(self.base(), self.base()) == []
+
+    def test_doubled_wall_time_is_a_regression(self):
+        cur = perf.latest_by_exp(
+            [record("F18", {"wall_time_s": 2.0, "stall_cycles_total": 10})]
+        )
+        regs = perf.compare(self.base(), cur)
+        assert [r.metric for r in regs] == ["wall_time_s"]
+        assert regs[0].metric_class == "wall_time"
+        assert regs[0].ratio == pytest.approx(2.0)
+        assert "REGRESSION F18.wall_time_s" in str(regs[0])
+
+    def test_wall_time_noise_within_threshold_passes(self):
+        cur = perf.latest_by_exp(
+            [record("F18", {"wall_time_s": 1.4, "stall_cycles_total": 10})]
+        )
+        assert perf.compare(self.base(), cur) == []
+
+    def test_sim_cycles_are_tightly_budgeted(self):
+        cur = perf.latest_by_exp(
+            [record("F18", {"wall_time_s": 1.0, "stall_cycles_total": 11})]
+        )
+        regs = perf.compare(self.base(), cur)
+        assert [r.metric for r in regs] == ["stall_cycles_total"]
+
+    def test_classes_filter_skips_wall_time(self):
+        cur = perf.latest_by_exp(
+            [record("F18", {"wall_time_s": 9.0, "stall_cycles_total": 10})]
+        )
+        assert perf.compare(self.base(), cur, classes=["sim_cycles"]) == []
+
+    def test_threshold_override(self):
+        cur = perf.latest_by_exp(
+            [record("F18", {"wall_time_s": 1.2, "stall_cycles_total": 10})]
+        )
+        regs = perf.compare(
+            self.base(), cur, thresholds={"wall_time": 0.1}
+        )
+        assert [r.metric for r in regs] == ["wall_time_s"]
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(ValueError, match="unknown metric class"):
+            perf.compare({}, {}, thresholds={"warp_speed": 0.1})
+        with pytest.raises(ValueError, match="unknown metric class"):
+            perf.compare({}, {}, classes=["warp_speed"])
+
+    def test_disjoint_experiments_and_metrics_skipped(self):
+        cur = perf.latest_by_exp(
+            [record("F21", {"input_words_total": 1e9}),
+             record("F18", {"new_metric_cycles": 1e9})]
+        )
+        assert perf.compare(self.base(), cur) == []
+
+    def test_zero_baseline_regression_has_inf_ratio(self):
+        base = perf.latest_by_exp([record("F18", {"stall_cycles_total": 0})])
+        cur = perf.latest_by_exp([record("F18", {"stall_cycles_total": 3})])
+        (reg,) = perf.compare(base, cur)
+        assert reg.ratio == float("inf")
+        assert "REGRESSION" in str(reg)
+
+
+class TestPerfcheckCLI:
+    """Acceptance: the regression gate as wired into ``repro perfcheck``."""
+
+    def write_artifacts(self, tmp_path, factor=1.0):
+        base_rec = record(
+            "F18", {"wall_time_s": 1.0, "stall_cycles_total": 10}
+        )
+        cur_rec = record(
+            "F18",
+            {"wall_time_s": 1.0 * factor, "stall_cycles_total": 10},
+        )
+        base = tmp_path / "baseline.json"
+        base.write_text(json.dumps(perf.make_baseline([base_rec])))
+        cur = tmp_path / "history.jsonl"
+        perf.append_history(cur, cur_rec)
+        return base, cur
+
+    def test_unchanged_baseline_exits_zero(self, tmp_path, capsys):
+        base, cur = self.write_artifacts(tmp_path, factor=1.0)
+        rc = main(["perfcheck", "--baseline", str(base),
+                   "--current", str(cur)])
+        assert rc == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_doubled_wall_time_exits_nonzero_and_names_metric(
+        self, tmp_path, capsys
+    ):
+        base, cur = self.write_artifacts(tmp_path, factor=2.0)
+        rc = main(["perfcheck", "--baseline", str(base),
+                   "--current", str(cur)])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION F18.wall_time_s" in out
+        assert "perfcheck: FAIL" in out
+
+    def test_classes_flag_ignores_wall_time(self, tmp_path):
+        base, cur = self.write_artifacts(tmp_path, factor=2.0)
+        rc = main(["perfcheck", "--baseline", str(base),
+                   "--current", str(cur),
+                   "--classes", "sim_cycles,memory_traffic,host_bandwidth"])
+        assert rc == 0
+
+    def test_update_baseline_writes_current_latest(self, tmp_path, capsys):
+        base, cur = self.write_artifacts(tmp_path, factor=2.0)
+        rc = main(["perfcheck", "--baseline", str(base),
+                   "--current", str(cur), "--update-baseline"])
+        assert rc == 0
+        doc = json.loads(base.read_text())
+        assert doc["version"] == perf.SCHEMA_VERSION
+        assert doc["experiments"]["F18"]["metrics"]["wall_time_s"] == 2.0
+        # After the update the gate passes again.
+        assert main(["perfcheck", "--baseline", str(base),
+                     "--current", str(cur)]) == 0
+
+    def test_missing_files_and_bad_flags_exit_two(self, tmp_path):
+        base, cur = self.write_artifacts(tmp_path)
+        missing = str(tmp_path / "nope.json")
+        assert main(["perfcheck", "--baseline", missing,
+                     "--current", str(cur)]) == 2
+        assert main(["perfcheck", "--baseline", str(base),
+                     "--current", missing]) == 2
+        assert main(["perfcheck", "--baseline", str(base),
+                     "--current", str(cur),
+                     "--threshold", "wall_time=fast"]) == 2
+        assert main(["perfcheck", "--baseline", str(base),
+                     "--current", str(cur),
+                     "--classes", "warp_speed"]) == 2

@@ -1,0 +1,145 @@
+"""Derived-report aggregation on multi-G-set *chained* plans.
+
+``tests/obs/test_probe.py`` covers the single-plan paths; here the probe
+watches ``run_chained_instances`` — k replicated graphs co-simulated
+under one combined plan — and the occupancy/memory/I-O aggregations must
+stay consistent with the combined :class:`SimResult`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.transitive_closure import make_inputs, tc_regular
+from repro.algorithms.warshall import random_adjacency, warshall
+from repro.arrays.cycle_sim import cell_fire_counts, cell_utilization
+from repro.arrays.pipeline import run_chained_instances
+from repro.arrays.plan import (
+    fixed_array_plan,
+    min_initiation_interval,
+    partitioned_plan,
+)
+from repro.core.ggraph import GGraph, group_by_columns
+from repro.core.gsets import make_linear_gsets, schedule_gsets
+from repro.obs import (
+    RecordingProbe,
+    io_demand_curve,
+    memory_traffic_per_cycle,
+    occupancy_timeline,
+)
+
+N = 6
+K = 3
+
+
+@pytest.fixture(scope="module")
+def chained_fixed_run():
+    """K instances chained on the Fig. 17 fixed-size array, probed."""
+    dg = tc_regular(N)
+    gg = GGraph(dg, group_by_columns)
+    ep = fixed_array_plan(gg)
+    delta = min_initiation_interval(ep)
+    mats = [random_adjacency(N, 0.3, seed=s) for s in range(K)]
+    probe = RecordingProbe()
+    run = run_chained_instances(
+        dg, ep, [make_inputs(a) for a in mats], delta, probe=probe
+    )
+    for i, a in enumerate(mats):
+        assert np.array_equal(run.output_matrix(i, N), warshall(a))
+    return run, probe
+
+
+@pytest.fixture(scope="module")
+def chained_partitioned_run():
+    """K instances of a *partitioned* (multi-G-set) plan, probed.
+
+    The partitioned plan round-trips values through external memory
+    between G-sets, so the chained run exercises the memory-traffic
+    aggregation path that the fixed array never hits.
+    """
+    dg = tc_regular(N)
+    gg = GGraph(dg, group_by_columns)
+    plan = make_linear_gsets(gg, 3)
+    order = schedule_gsets(plan, "vertical")
+    ep = partitioned_plan(plan, order)
+    delta = ep.makespan + 1  # sequential instances: always legal
+    mats = [random_adjacency(N, 0.3, seed=10 + s) for s in range(K)]
+    probe = RecordingProbe()
+    run = run_chained_instances(
+        dg, ep, [make_inputs(a) for a in mats], delta, probe=probe
+    )
+    for i, a in enumerate(mats):
+        assert np.array_equal(run.output_matrix(i, N), warshall(a))
+    return run, probe
+
+
+class TestChainedOccupancy:
+    def test_timeline_covers_combined_busy_count(self, chained_fixed_run):
+        run, probe = chained_fixed_run
+        lanes = occupancy_timeline(probe)
+        assert sum(len(v) for v in lanes.values()) == run.result.busy
+
+    def test_lanes_have_no_double_booking(self, chained_fixed_run):
+        _, probe = chained_fixed_run
+        for lane in occupancy_timeline(probe).values():
+            cycles = [c for c, _ in lane]
+            assert cycles == sorted(cycles)
+            assert len(cycles) == len(set(cycles))  # one fire/cell/cycle
+
+    def test_cell_summaries_match_timeline(self, chained_fixed_run):
+        run, probe = chained_fixed_run
+        lanes = occupancy_timeline(probe)
+        counts = cell_fire_counts(probe)
+        assert counts == {cell: len(lane) for cell, lane in lanes.items()}
+        util = cell_utilization(probe, run.result.makespan)
+        for cell, fires in counts.items():
+            assert util[cell] * run.result.makespan == fires
+
+    def test_chained_occupancy_exceeds_single_instance(self):
+        dg = tc_regular(N)
+        gg = GGraph(dg, group_by_columns)
+        ep = fixed_array_plan(gg)
+        delta = min_initiation_interval(ep)
+
+        def occupancy(k: int):
+            mats = [random_adjacency(N, 0.3, seed=s) for s in range(k)]
+            run = run_chained_instances(
+                dg, ep, [make_inputs(a) for a in mats], delta
+            )
+            return run.result.occupancy
+
+        assert occupancy(3) > occupancy(1)  # overlap fills the idle cycles
+
+
+class TestChainedMemoryTraffic:
+    def test_traffic_totals_match_combined_result(
+        self, chained_partitioned_run
+    ):
+        run, probe = chained_partitioned_run
+        curve = memory_traffic_per_cycle(probe)
+        assert sum(w for _, w in curve) == run.result.memory_reads
+        assert run.result.memory_reads > 0  # cut-and-pile actually happened
+
+    def test_traffic_scales_with_instance_count(
+        self, chained_partitioned_run
+    ):
+        run, probe = chained_partitioned_run
+        single = run.result.memory_reads // K
+        # Sequential chaining: every instance pays the same cut-and-pile
+        # round trips, so the combined traffic is exactly K times one.
+        assert run.result.memory_reads == single * K
+
+    def test_io_demand_curve_matches_combined_result(
+        self, chained_partitioned_run
+    ):
+        run, probe = chained_partitioned_run
+        assert io_demand_curve(probe) == run.result.io_demand_curve()
+
+    def test_memory_traffic_cycles_within_makespan(
+        self, chained_partitioned_run
+    ):
+        run, probe = chained_partitioned_run
+        for cycle, reads in memory_traffic_per_cycle(probe):
+            assert 0 <= cycle <= run.result.makespan
+            assert reads > 0

@@ -103,3 +103,86 @@ def test_render_gantt_window() -> None:
     for line in lines[1:]:
         assert line.count("|") == 2
         assert len(line.split("|")[1]) == 30
+
+
+# ----------------------------------------------------------------------
+# SVG primitives (repro.viz.svg) — used by the HTML dashboard.
+# ----------------------------------------------------------------------
+
+def _wellformed(svg_text: str) -> None:
+    import xml.etree.ElementTree as ET
+
+    ET.fromstring(svg_text)
+
+
+def test_svg_heatmap_cells_and_tooltips() -> None:
+    from repro.viz import svg_heatmap
+
+    svg = svg_heatmap({(0, 0): 1.0, (0, 1): 4.0, (1, 1): 2.0},
+                      title="t", value_label="fires")
+    _wellformed(svg)
+    assert 'data-cell="0,0" data-count="1"' in svg
+    assert 'data-cell="0,1" data-count="4"' in svg
+    assert 'data-cell="1,1" data-count="2"' in svg
+    assert svg.count("<title>") >= 3  # native hover tooltips
+
+
+def test_svg_heatmap_label_ink_flips_on_dark_fill() -> None:
+    from repro.viz.svg import ink_on, seq_color
+
+    assert ink_on(seq_color(0.05)) != ink_on(seq_color(1.0))
+
+
+def test_svg_line_chart_series_cap_and_legend() -> None:
+    import pytest
+
+    from repro.viz import svg_line_chart
+
+    pts = [(0.0, 0.0), (1.0, 2.0), (2.0, 1.0)]
+    key = 'width="14" height="4"'  # the legend's colored key swatch
+    one = svg_line_chart([("a", pts)], title="t", x_label="x", y_label="y")
+    _wellformed(one)
+    assert key not in one  # a single series needs no legend box
+    two = svg_line_chart([("a", pts), ("b", pts)], title="t",
+                         x_label="x", y_label="y")
+    _wellformed(two)
+    assert two.count(key) == 2  # one key per series
+    with pytest.raises(ValueError):
+        svg_line_chart([(f"s{i}", pts) for i in range(4)], title="t",
+                       x_label="x", y_label="y")
+
+
+def test_svg_line_chart_step_mode() -> None:
+    from repro.viz import svg_line_chart
+
+    pts = [(0.0, 0.0), (2.0, 4.0)]
+    smooth = svg_line_chart([("a", pts)], title="t", x_label="x", y_label="y")
+    step = svg_line_chart([("a", pts)], title="t", x_label="x", y_label="y",
+                          step=True)
+    _wellformed(step)
+    assert step != smooth  # the step curve inserts the horizontal riser
+
+
+def test_svg_lanes_tooltips_per_fire() -> None:
+    from repro.viz import svg_lanes
+
+    svg = svg_lanes(
+        {"cell0": [(0, "compute"), (2, "transmit")],
+         "cell1": [(1, "delay")]},
+        makespan=4,
+        classes=("compute", "transmit", "delay"),
+        title="occupancy",
+    )
+    _wellformed(svg)
+    assert svg.count("<title>") >= 3  # one tooltip per fired tick
+
+
+def test_svg_nice_ticks_cover_range() -> None:
+    from repro.viz.svg import nice_ticks
+
+    ticks = nice_ticks(0.0, 97.0, 5)
+    assert ticks and 0.0 <= ticks[0] and ticks[-1] <= 97.0
+    assert ticks == sorted(ticks)
+    steps = {round(b - a, 9) for a, b in zip(ticks, ticks[1:])}
+    assert len(steps) == 1  # uniform, round-number spacing
+    assert ticks[-1] >= 97.0 - steps.pop()  # last tick within one step of hi
