@@ -26,7 +26,7 @@ Outputs are the ``L`` multipliers and the ``U`` rows as they freeze.
 
 from __future__ import annotations
 
-from typing import Any, Mapping
+from typing import Any
 
 import numpy as np
 

@@ -24,7 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from fractions import Fraction
 from math import ceil, floor
-from typing import Hashable, Mapping
+from typing import Hashable
 
 from .cycle_sim import SimResult
 

@@ -31,7 +31,7 @@ from dataclasses import dataclass, field
 from typing import Hashable, Sequence
 
 from ..core.ggraph import GGraph
-from ..core.graph import DependenceGraph, NodeId
+from ..core.graph import NodeId
 from ..core.gsets import GSet, GSetPlan
 from .topology import ArrayTopology, fixed_grid_topology, linear_topology, mesh_topology
 

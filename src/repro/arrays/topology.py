@@ -17,9 +17,8 @@ through external memory (cut-and-pile traffic).
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
-from typing import Hashable, Iterable
+from typing import Hashable
 
 __all__ = ["ArrayTopology", "linear_topology", "mesh_topology", "fixed_grid_topology"]
 

@@ -8,6 +8,8 @@ Examples::
     python -m repro schedule --n 12 --m 4 --policy vertical
     python -m repro level --n 6 --k 2
     python -m repro fixed --n 9
+    python -m repro lint --n 12 --m 4
+    python -m repro lint --experiments --format sarif --out lint.sarif
     python -m repro trace --n 12 --m 4 --trace-out t.json
     python -m repro stats --n 12 --m 4
     python -m repro perfcheck --baseline benchmarks/perf_baseline.json \\
@@ -70,6 +72,27 @@ def build_parser() -> argparse.ArgumentParser:
     s = sub.add_parser("fixed", help="simulate the Fig. 17 fixed-size array")
     s.add_argument("--n", type=int, default=9)
     s.add_argument("--seed", type=int, default=0)
+
+    s = sub.add_parser(
+        "lint",
+        help="statically check a design against the paper's invariants "
+             "(RLxxx diagnostics; see docs/static-analysis.md)",
+    )
+    s.add_argument("--n", type=int, default=12)
+    s.add_argument("--m", type=int, default=4)
+    s.add_argument("--geometry", choices=("linear", "mesh"), default="linear")
+    s.add_argument("--policy", default="vertical")
+    s.add_argument("--packed", action="store_true",
+                   help="pack G-sets instead of the paper's skew alignment")
+    s.add_argument("--experiments", action="store_true",
+                   help="lint every shipped configuration (the CI gate's "
+                        "workload) instead of one design")
+    s.add_argument("--config", default=None, metavar="NAME",
+                   help="lint one shipped configuration by name")
+    s.add_argument("--format", choices=("text", "json", "sarif"),
+                   default="text")
+    s.add_argument("--out", metavar="FILE", default=None,
+                   help="write the report to FILE instead of stdout")
 
     s = sub.add_parser(
         "reproduce",
@@ -294,6 +317,79 @@ def _cmd_fixed(args) -> int:
     return 0 if ok else 1
 
 
+def _cmd_lint(args) -> int:
+    import json
+    from pathlib import Path
+
+    from .lint import (
+        SCHEMA_VERSION,
+        lint_config,
+        lint_implementation,
+        lint_shipped_configs,
+    )
+
+    if args.experiments and args.config:
+        print("lint: --experiments and --config are mutually exclusive",
+              file=sys.stderr)
+        return 2
+    if args.experiments:
+        reports = lint_shipped_configs()
+    elif args.config:
+        try:
+            reports = {args.config: lint_config(args.config)}
+        except KeyError as exc:
+            print(f"lint: {exc.args[0]}", file=sys.stderr)
+            return 2
+    else:
+        from .core.metrics import tc_io_bandwidth
+        from .core.partitioner import partition_transitive_closure
+
+        impl = partition_transitive_closure(
+            n=args.n, m=args.m, geometry=args.geometry,
+            policy=args.policy, aligned=not args.packed,
+        )
+        name = (f"tc-n{args.n}-m{args.m}-{args.geometry}-{args.policy}"
+                + ("-packed" if args.packed else ""))
+        reports = {
+            name: lint_implementation(
+                impl, description=name,
+                io_bound=tc_io_bandwidth(args.n, args.m),
+            )
+        }
+
+    errors = sum(len(rep.errors) for rep in reports.values())
+    warnings = sum(len(rep.warnings) for rep in reports.values())
+    summary = (f"{len(reports)} design(s), {errors} error(s), "
+               f"{warnings} warning(s)")
+    if args.format == "text":
+        body = "\n\n".join(rep.to_text() for rep in reports.values())
+        if len(reports) > 1:
+            body += f"\n\nlint total: {summary}"
+    elif args.format == "json":
+        doc = {
+            "version": SCHEMA_VERSION,
+            "ok": all(rep.ok for rep in reports.values()),
+            "reports": {n: rep.to_dict() for n, rep in reports.items()},
+        }
+        body = json.dumps(doc, indent=2, sort_keys=True)
+    else:  # sarif: one SARIF run per linted design
+        doc = None
+        for rep in reports.values():
+            one = rep.to_sarif()
+            if doc is None:
+                doc = one
+            else:
+                doc["runs"].extend(one["runs"])
+        body = json.dumps(doc, indent=2, sort_keys=True)
+
+    if args.out:
+        Path(args.out).write_text(body + "\n")
+        print(f"lint: wrote {args.format} report to {args.out} ({summary})")
+    else:
+        print(body)
+    return 1 if errors else 0
+
+
 def _cmd_reproduce(args) -> int:
     from .experiments import EXPERIMENTS
     from .viz import format_table
@@ -473,6 +569,7 @@ _COMMANDS = {
     "schedule": _cmd_schedule,
     "level": _cmd_level,
     "fixed": _cmd_fixed,
+    "lint": _cmd_lint,
     "reproduce": _cmd_reproduce,
     "trace": _cmd_trace,
     "stats": _cmd_stats,

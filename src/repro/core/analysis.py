@@ -239,6 +239,7 @@ def long_edges(
     max_len: int = 1,
     kinds: tuple[NodeKind, ...] = (NodeKind.OP, NodeKind.PASS, NodeKind.DELAY),
     dims: tuple[int, ...] | None = None,
+    pos_attr: str = "pos",
 ) -> list[tuple[NodeId, NodeId, tuple]]:
     """Edges whose position delta exceeds ``max_len`` on some dimension.
 
@@ -247,14 +248,17 @@ def long_edges(
     wire spanning several cells.  The regularization transformation
     (Fig. 15c) replaces them with delay hops; this census quantifies the
     improvement.  ``dims`` restricts the check (e.g. to intra-level
-    geometry).
+    geometry); ``pos_attr`` selects the embedding, as in
+    :func:`flow_directions` (neighbourhood is physical, so the drawing
+    embedding is the right space when one is attached).
     """
     want = set(kinds)
     result = []
     for u, v in dg.g.edges:
         if dg.kind(u) not in want or dg.kind(v) not in want:
             continue
-        pu, pv = dg.pos(u), dg.pos(v)
+        pu = dg.g.nodes[u].get(pos_attr)
+        pv = dg.g.nodes[v].get(pos_attr)
         if pu is None or pv is None:
             continue
         delta = tuple(b - a for a, b in zip(pu, pv))

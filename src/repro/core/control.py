@@ -67,13 +67,15 @@ class ControlReport:
         return sum(self.per_cell.values()) / len(self.per_cell)
 
 
-def _neighbour_offsets(geometry: str):
+def _neighbour_offsets(geometry: str) -> tuple[tuple[int, ...], ...]:
     if geometry == "linear":
         return ((-1,), (1,))
     return ((-1, 0), (1, 0), (0, -1), (0, 1))
 
 
-def _shift(cell, off):
+def _shift(
+    cell: int | tuple[int, ...], off: tuple[int, ...]
+) -> int | tuple[int, ...]:
     if isinstance(cell, tuple):
         return tuple(c + o for c, o in zip(cell, off))
     return cell + off[0]

@@ -29,11 +29,11 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Callable, Hashable, Iterable, Mapping
+from typing import Callable, Mapping
 
 import networkx as nx
 
-from .graph import DependenceGraph, GraphError, NodeId, NodeKind
+from .graph import DependenceGraph, NodeId
 
 __all__ = [
     "GNode",
@@ -141,7 +141,9 @@ class GGraph:
                 for x in nids
                 if dg.kind(x).occupies_slot
             )
-            self.gnodes[gid] = GNode(gid=gid, members=tuple(nids), comp_time=comp_time, tags=dict(tags))
+            self.gnodes[gid] = GNode(
+                gid=gid, members=tuple(nids), comp_time=comp_time, tags=dict(tags)
+            )
 
         # Derive the G-edge structure.
         self.g = nx.DiGraph()
@@ -187,14 +189,14 @@ class GGraph:
         times = {gn.comp_time for gn in self.gnodes.values()}
         return len(times) <= 1
 
-    def row_times(self, row) -> tuple[int, ...]:
+    def row_times(self, row: int) -> tuple[int, ...]:
         """Computation times along one horizontal path (Fig. 22 analysis)."""
         return tuple(
             self.gnodes[gid].comp_time
             for gid in sorted(g for g in self.gnodes if g[0] == row)
         )
 
-    def col_times(self, col) -> tuple[int, ...]:
+    def col_times(self, col: int) -> tuple[int, ...]:
         """Computation times along one vertical path."""
         return tuple(
             self.gnodes[gid].comp_time

@@ -143,7 +143,7 @@ def port(nid: Hashable, name: str) -> PortRef:
     return PortRef(nid, name)
 
 
-def _split_source(src) -> tuple[Hashable, str]:
+def _split_source(src: Hashable) -> tuple[Hashable, str]:
     """Normalise a source reference to ``(node id, port name)``."""
     if isinstance(src, PortRef):
         return src.node, src.port
@@ -277,7 +277,9 @@ class DependenceGraph:
         self._outputs.append(nid)
         return nid
 
-    def _wire(self, src, dst: NodeId, role: str, axis: Axis | str | None) -> None:
+    def _wire(
+        self, src: Hashable, dst: NodeId, role: str, axis: Axis | str | None
+    ) -> None:
         src_node, src_port = _split_source(src)
         if src_node not in self.g:
             raise GraphError(f"edge from unknown node {src_node!r}")

@@ -19,7 +19,8 @@ a verified, cycle-simulated partitioned implementation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from fractions import Fraction
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
@@ -35,8 +36,12 @@ from .gsets import (
     schedule_gsets,
     verify_schedule,
 )
-from .metrics import PerformanceReport, evaluate_schedule
+from .metrics import PerformanceReport, evaluate_schedule, tc_io_bandwidth
 from .semiring import BOOLEAN, Semiring
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guards
+    from ..arrays.cycle_sim import SimResult
+    from ..arrays.plan import ExecutionPlan
 
 __all__ = ["PartitionedImplementation", "partition", "partition_transitive_closure"]
 
@@ -55,7 +60,7 @@ class PartitionedImplementation:
     _exec_plan = None
 
     @property
-    def exec_plan(self):
+    def exec_plan(self) -> "ExecutionPlan":
         """The cycle-level execution plan (built lazily)."""
         if self._exec_plan is None:
             from ..arrays.plan import partitioned_plan
@@ -85,13 +90,27 @@ class PartitionedImplementation:
         )
         return res.output_matrix(n, self.semiring)
 
-    def simulate(self, a: np.ndarray):
+    def simulate(self, a: np.ndarray) -> "SimResult":
         """Full cycle simulation; returns the raw :class:`SimResult`."""
         from ..arrays.cycle_sim import simulate
 
         return simulate(
             self.exec_plan, self.dg, tc.make_inputs(a, self.semiring), self.semiring
         )
+
+
+def _run_preflight(
+    impl: PartitionedImplementation, io_bound: Fraction | None = None
+) -> None:
+    """Static design check; raises :class:`repro.lint.LintError` on errors."""
+    from ..lint import LintTarget
+    from ..lint import preflight as lint_preflight
+
+    with stage_span("partition.preflight") as sp:
+        report = lint_preflight(
+            LintTarget.from_implementation(impl, io_bound=io_bound)
+        )
+        sp.tag("findings", len(report))
 
 
 def partition(
@@ -103,12 +122,18 @@ def partition(
     aligned: bool = True,
     mesh_shape: tuple[int, int] | None = None,
     semiring: Semiring = BOOLEAN,
+    preflight: bool = False,
 ) -> PartitionedImplementation:
     """Run steps 2-3 of the procedure on an already-transformed graph.
 
     (Step 1 — removing broadcasts, bi-directional flow and irregularity —
     is the responsibility of the algorithm front-end or of
     :mod:`repro.core.transform`.)
+
+    ``preflight=True`` runs the static design checker
+    (:mod:`repro.lint`) over the finished implementation and raises
+    :class:`repro.lint.LintError` before returning a design with
+    error-severity findings.
     """
     with stage_span(
         "partition.group", graph=dg.name,
@@ -136,9 +161,12 @@ def partition(
         report = evaluate_schedule(plan, order)
         sp.tag("total_time", report.total_time)
         sp.tag("utilization", report.utilization)
-    return PartitionedImplementation(
+    impl = PartitionedImplementation(
         dg=dg, gg=gg, plan=plan, order=order, report=report, semiring=semiring
     )
+    if preflight:
+        _run_preflight(impl)
+    return impl
 
 
 def partition_transitive_closure(
@@ -148,18 +176,23 @@ def partition_transitive_closure(
     policy: str = "vertical",
     aligned: bool = True,
     semiring: Semiring = BOOLEAN,
+    preflight: bool = False,
 ) -> PartitionedImplementation:
     """Turnkey partitioned transitive closure (the paper's Sec. 3).
 
     Builds the regularized graph (Fig. 16), groups its diagonal paths into
     the Fig. 17 G-graph, selects and schedules G-sets for the requested
     array, and returns the implementation with its Sec. 4 report.
+
+    ``preflight=True`` statically checks the design (including the
+    Fig. 21 ``m/n`` host-bandwidth bound) and raises
+    :class:`repro.lint.LintError` on error-severity findings.
     """
     with stage_span("frontend.tc_regular", n=n) as sp:
         dg = tc.tc_regular(n)
         sp.tag("nodes", len(dg))
         sp.tag("edges", dg.g.number_of_edges())
-    return partition(
+    impl = partition(
         dg,
         group_by_columns,
         m,
@@ -168,3 +201,6 @@ def partition_transitive_closure(
         aligned=aligned,
         semiring=semiring,
     )
+    if preflight:
+        _run_preflight(impl, io_bound=tc_io_bandwidth(n, m))
+    return impl

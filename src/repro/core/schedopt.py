@@ -22,7 +22,6 @@ at the boundaries where both are defined).
 
 from __future__ import annotations
 
-import heapq
 from typing import Sequence
 
 from .gsets import GSet, GSetPlan, SCHEDULE_POLICIES, gset_dependences

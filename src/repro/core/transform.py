@@ -30,12 +30,9 @@ from typing import Callable, Hashable
 from ..obs.tracing import stage_span
 from .analysis import find_broadcasts
 from .graph import (
-    Axis,
     DependenceGraph,
-    GraphError,
     NodeId,
     NodeKind,
-    OP_ROLES,
     PortRef,
     port,
 )

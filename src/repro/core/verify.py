@@ -17,12 +17,15 @@ locality evidence into a single report.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
-from ..algorithms.warshall import random_adjacency
 from .partitioner import PartitionedImplementation
 from .semiring import Semiring, closure_reference
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..lint import LintReport
 
 __all__ = ["VerificationReport", "verify_implementation"]
 
@@ -37,21 +40,33 @@ class VerificationReport:
     stall_cycles: int
     max_memory_words: int
     mismatches: list[str] = field(default_factory=list)
+    lint: "LintReport | None" = None
 
     @property
     def ok(self) -> bool:
-        """Every trial correct, no timing violations anywhere."""
+        """Every trial correct, no timing violations anywhere.
+
+        Static lint findings (``lint``) do not affect this: the dynamic
+        evidence stands on its own, and the checker's verdict is
+        reported separately (``lint.ok``).
+        """
         return self.correct == self.trials and self.violation_trials == 0
 
     def summary(self) -> str:
         """One-line human summary."""
         status = "OK" if self.ok else "FAILED"
-        return (
+        line = (
             f"{status}: {self.correct}/{self.trials} correct, "
             f"{self.violation_trials} trials with violations, "
             f"{self.stall_cycles} stall cycles, "
             f"peak memory {self.max_memory_words} words"
         )
+        if self.lint is not None:
+            c = self.lint.counts()
+            line += (
+                f"; lint: {c['error']} error(s), {c['warning']} warning(s)"
+            )
+        return line
 
 
 def _random_input(n: int, semiring: Semiring, rng: np.random.Generator) -> np.ndarray:
@@ -64,6 +79,7 @@ def verify_implementation(
     trials: int = 10,
     seed: int = 0,
     extra_inputs: list[np.ndarray] | None = None,
+    preflight: bool = True,
 ) -> VerificationReport:
     """Sweep random inputs through the implementation and check everything.
 
@@ -78,9 +94,25 @@ def verify_implementation(
     extra_inputs:
         Additional adjacency/weight matrices (e.g. from
         :mod:`repro.algorithms.workloads`) appended to the sweep.
+    preflight:
+        Also run the static design checker (:mod:`repro.lint`) and
+        attach its :class:`~repro.lint.LintReport` to the result's
+        ``lint`` field.  Unlike the partitioner's ``preflight=True``
+        this never raises — the point of verification is to gather all
+        the evidence, static and dynamic, side by side.
     """
     rng = np.random.default_rng(seed)
     n = len({nid[1] for nid in impl.dg.inputs})
+    lint_report = None
+    if preflight:
+        from ..lint import LintTarget, run_lint
+        from .metrics import tc_io_bandwidth
+
+        lint_report = run_lint(
+            LintTarget.from_implementation(
+                impl, io_bound=tc_io_bandwidth(n, impl.plan.m)
+            )
+        )
     sr = impl.semiring
     inputs = [_random_input(n, sr, rng) for _ in range(trials)]
     for extra in extra_inputs or []:
@@ -113,4 +145,5 @@ def verify_implementation(
         stall_cycles=impl.exec_plan.stall_cycles,
         max_memory_words=max_mem,
         mismatches=mismatches,
+        lint=lint_report,
     )

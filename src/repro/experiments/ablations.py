@@ -10,7 +10,6 @@ from ..algorithms.warshall import (
     random_adjacency,
     warshall,
 )
-from ..core.control import control_complexity
 from ..core.ggraph import GGraph, group_by_blocks, group_by_columns
 from ..core.gsets import (
     SCHEDULE_POLICIES,

@@ -1,0 +1,62 @@
+"""Static design checker for the partitioning methodology (``repro.lint``).
+
+The paper's transformation chain *claims* invariants — no broadcasting,
+uni-directional flow, regular communication (Sec. 2), causal cut-and-pile
+ordering and bounded memory connections (Sec. 3), ``m/n`` host bandwidth
+(Fig. 21).  This package proves or refutes each claim statically, in
+milliseconds, on the FPDG -> G-graph -> G-set plan -> execution plan
+chain, with located diagnostics and stable ``RLxxx`` codes.
+
+Entry points:
+
+* :func:`lint_graph` / :func:`lint_implementation` — turnkey checks;
+* :func:`run_lint` over a hand-built :class:`LintTarget` — any subset of
+  the chain;
+* :func:`preflight` — raise :class:`LintError` on error findings (the
+  ``preflight=True`` option of the partitioner and verifier);
+* ``python -m repro lint`` — CLI with text/JSON/SARIF output;
+* :data:`SHIPPED_CONFIGS` — the designs CI proves clean.
+
+See ``docs/static-analysis.md`` for the diagnostic-code catalogue.
+"""
+
+from .diagnostics import (
+    Diagnostic,
+    LintError,
+    LintReport,
+    RULE_CATALOG,
+    RuleInfo,
+    SCHEMA_VERSION,
+    Severity,
+)
+from .registry import LintPass, LintTarget, all_passes, run_lint
+from .configs import (
+    LintConfig,
+    SHIPPED_CONFIGS,
+    lint_config,
+    lint_graph,
+    lint_implementation,
+    lint_shipped_configs,
+    preflight,
+)
+
+__all__ = [
+    "Diagnostic",
+    "Severity",
+    "RuleInfo",
+    "RULE_CATALOG",
+    "SCHEMA_VERSION",
+    "LintError",
+    "LintReport",
+    "LintPass",
+    "LintTarget",
+    "all_passes",
+    "run_lint",
+    "LintConfig",
+    "SHIPPED_CONFIGS",
+    "lint_config",
+    "lint_graph",
+    "lint_implementation",
+    "lint_shipped_configs",
+    "preflight",
+]

@@ -1,0 +1,194 @@
+"""Shipped design configurations and turnkey lint entry points.
+
+``SHIPPED_CONFIGS`` names one representative design per shipped
+experiment family (linear/mesh partitioned arrays, schedule-policy and
+alignment variants, the memory-aware scheduler, and the Fig. 17 fixed
+array).  The CI lint gate and ``repro lint --experiments`` run every
+one of them and require zero error-severity findings — the checker's
+standing zero-false-positive contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import TYPE_CHECKING, Callable
+
+from ..core.metrics import tc_io_bandwidth
+from .diagnostics import LintError, LintReport
+from .registry import LintTarget, run_lint
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guards
+    from ..core.graph import DependenceGraph
+    from ..core.partitioner import PartitionedImplementation
+
+__all__ = [
+    "LintConfig",
+    "SHIPPED_CONFIGS",
+    "lint_graph",
+    "lint_implementation",
+    "lint_config",
+    "lint_shipped_configs",
+    "preflight",
+]
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """One named design configuration the lint gate covers."""
+
+    name: str
+    description: str
+    build: Callable[[], LintTarget]
+
+
+def _partitioned(
+    n: int,
+    m: int,
+    geometry: str = "linear",
+    policy: str = "vertical",
+    aligned: bool = True,
+) -> LintTarget:
+    from ..core.partitioner import partition_transitive_closure
+
+    impl = partition_transitive_closure(
+        n=n, m=m, geometry=geometry, policy=policy, aligned=aligned
+    )
+    return LintTarget.from_implementation(
+        impl,
+        description=f"tc n={n} {geometry} m={m} {policy}"
+        + ("" if aligned else " packed"),
+        io_bound=tc_io_bandwidth(n, m),
+    )
+
+
+def _memory_aware(n: int, m: int) -> LintTarget:
+    from ..core.ggraph import GGraph, group_by_columns
+    from ..core.gsets import make_linear_gsets
+    from ..core.schedopt import schedule_gsets_memory_aware
+    from ..algorithms import transitive_closure as tc
+    from ..arrays.plan import partitioned_plan
+
+    dg = tc.tc_regular(n)
+    gg = GGraph(dg, group_by_columns)
+    plan = make_linear_gsets(gg, m)
+    order = schedule_gsets_memory_aware(plan)
+    return LintTarget(
+        description=f"tc n={n} linear m={m} memory-aware",
+        dg=dg,
+        gg=gg,
+        plan=plan,
+        order=order,
+        exec_plan=partitioned_plan(plan, order),
+        io_bound=tc_io_bandwidth(n, m),
+    )
+
+
+def _fixed_array(n: int) -> LintTarget:
+    from ..core.ggraph import GGraph, group_by_columns
+    from ..algorithms import transitive_closure as tc
+    from ..arrays.plan import fixed_array_plan
+
+    dg = tc.tc_regular(n)
+    gg = GGraph(dg, group_by_columns)
+    return LintTarget(
+        description=f"tc n={n} fixed array (Fig. 17)",
+        dg=dg,
+        gg=gg,
+        exec_plan=fixed_array_plan(gg),
+    )
+
+
+#: The designs the lint gate proves clean (CI: zero error findings).
+SHIPPED_CONFIGS: tuple[LintConfig, ...] = (
+    LintConfig(
+        "linear-n12-m4",
+        "F18 reference point: linear array, aligned, vertical policy",
+        lambda: _partitioned(12, 4),
+    ),
+    LintConfig(
+        "linear-n9-m3",
+        "F21 host-bandwidth point: linear array with m | n",
+        lambda: _partitioned(9, 3),
+    ),
+    LintConfig(
+        "mesh-n8-m4",
+        "F19 reference point: 2x2 mesh",
+        lambda: _partitioned(8, 4, geometry="mesh"),
+    ),
+    LintConfig(
+        "linear-horizontal-n12-m4",
+        "F20/A-POL variant: horizontal-path schedule policy",
+        lambda: _partitioned(12, 4, policy="horizontal"),
+    ),
+    LintConfig(
+        "linear-packed-n12-m4",
+        "A-ALN ablation: packed (non-aligned) linear blocks",
+        lambda: _partitioned(12, 4, aligned=False),
+    ),
+    LintConfig(
+        "linear-memaware-n12-m4",
+        "A-POL optimization: memory-aware greedy schedule",
+        lambda: _memory_aware(12, 4),
+    ),
+    LintConfig(
+        "fixed-n9",
+        "F17 fixed-size array: one cell per G-node",
+        lambda: _fixed_array(9),
+    ),
+)
+
+
+def lint_graph(
+    dg: "DependenceGraph", description: str | None = None
+) -> LintReport:
+    """Run the graph passes (RL1xx) over one dependence graph."""
+    return run_lint(LintTarget.from_graph(dg, description=description))
+
+
+def lint_implementation(
+    impl: "PartitionedImplementation",
+    description: str | None = None,
+    io_bound: Fraction | None = None,
+    build_exec_plan: bool = True,
+) -> LintReport:
+    """Run every applicable pass over a partitioned implementation."""
+    return run_lint(
+        LintTarget.from_implementation(
+            impl,
+            description=description,
+            io_bound=io_bound,
+            build_exec_plan=build_exec_plan,
+        )
+    )
+
+
+def lint_config(config: "LintConfig | str") -> LintReport:
+    """Build one shipped configuration and lint it."""
+    if isinstance(config, str):
+        by_name = {c.name: c for c in SHIPPED_CONFIGS}
+        if config not in by_name:
+            raise KeyError(
+                f"unknown lint config {config!r}; "
+                f"available: {sorted(by_name)}"
+            )
+        config = by_name[config]
+    return run_lint(config.build())
+
+
+def lint_shipped_configs() -> dict[str, LintReport]:
+    """Lint every shipped configuration (the CI gate's workload)."""
+    return {c.name: lint_config(c) for c in SHIPPED_CONFIGS}
+
+
+def preflight(target: LintTarget) -> LintReport:
+    """Run the checker and raise :class:`LintError` on any error finding.
+
+    The ``preflight=True`` hook of the partitioner entry points and of
+    :func:`repro.core.verify.verify_implementation` funnels through
+    here, so simulation never starts on a statically broken design.
+    """
+    report = run_lint(target)
+    if not report.ok:
+        raise LintError(report)
+    return report

@@ -22,7 +22,7 @@ import-cycle-free.
 
 from __future__ import annotations
 
-from typing import Any, Hashable, Iterable
+from typing import Any, Hashable
 
 from .metrics import MetricsRegistry
 from .probe import RecordingProbe

@@ -21,7 +21,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from fractions import Fraction
 
-import networkx as nx
 
 from ..core.ggraph import GGraph, GNodeId
 

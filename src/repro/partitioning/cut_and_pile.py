@@ -10,7 +10,6 @@ plan -> Sec. 4.1 report, for either target geometry.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
 
 from ..core.ggraph import GGraph
 from ..core.gsets import (

@@ -1,0 +1,93 @@
+"""Tests for the ``repro lint`` CLI verb: exit codes, JSON schema, SARIF."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+from repro.lint import SCHEMA_VERSION
+
+
+def test_lint_text_clean_design_exits_zero(capsys) -> None:
+    assert main(["lint", "--n", "9", "--m", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "lint: tc-n9-m3-linear-vertical" in out
+    assert "0 error(s)" in out
+
+
+def test_lint_json_document_schema(tmp_path, capsys) -> None:
+    out_file = tmp_path / "lint.json"
+    assert main([
+        "lint", "--n", "9", "--m", "3", "--format", "json",
+        "--out", str(out_file),
+    ]) == 0
+    assert str(out_file) in capsys.readouterr().out
+    doc = json.loads(out_file.read_text())
+    assert doc["version"] == SCHEMA_VERSION
+    assert doc["ok"] is True
+    (report,) = doc["reports"].values()
+    assert report["version"] == SCHEMA_VERSION
+    assert {"summary", "ok", "passes_run", "findings"} <= set(report)
+
+
+def test_lint_json_to_stdout(capsys) -> None:
+    assert main(["lint", "--config", "linear-n9-m3", "--format", "json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["version"] == SCHEMA_VERSION
+    assert set(doc["reports"]) == {"linear-n9-m3"}
+
+
+def test_lint_unknown_config_exits_two(capsys) -> None:
+    assert main(["lint", "--config", "does-not-exist"]) == 2
+    assert "unknown lint config" in capsys.readouterr().err
+
+
+def test_lint_conflicting_flags_exit_two(capsys) -> None:
+    assert main(["lint", "--experiments", "--config", "linear-n9-m3"]) == 2
+    assert "mutually exclusive" in capsys.readouterr().err
+
+
+def test_lint_sarif_validity_smoke(tmp_path, capsys) -> None:
+    out_file = tmp_path / "lint.sarif"
+    # mesh-n8-m4 carries a warning, so `results` is non-empty while the
+    # exit code stays 0 (only error findings gate).
+    assert main([
+        "lint", "--config", "mesh-n8-m4", "--format", "sarif",
+        "--out", str(out_file),
+    ]) == 0
+    doc = json.loads(out_file.read_text())
+    assert doc["version"] == "2.1.0"
+    assert "sarif-schema-2.1.0" in doc["$schema"]
+    (run,) = doc["runs"]
+    rules = {r["id"] for r in run["tool"]["driver"]["rules"]}
+    assert {"RL101", "RL201", "RL304"} <= rules
+    assert run["results"], "mesh config should report its RL304 warning"
+    for res in run["results"]:
+        assert res["ruleId"] in rules
+        assert res["level"] in {"note", "warning", "error"}
+        assert res["message"]["text"]
+
+
+def test_lint_experiments_sweeps_all_configs(tmp_path, capsys) -> None:
+    out_file = tmp_path / "all.sarif"
+    assert main([
+        "lint", "--experiments", "--format", "sarif", "--out", str(out_file),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "7 design(s)" in out
+    doc = json.loads(out_file.read_text())
+    assert len(doc["runs"]) == 7  # one SARIF run per shipped design
+
+
+def test_lint_exit_one_on_error_findings(monkeypatch) -> None:
+    import repro.lint as lint_pkg
+    from repro.lint import Diagnostic, LintReport, Severity
+
+    bad = LintReport(target="broken")
+    bad.extend([
+        Diagnostic(code="RL105", severity=Severity.ERROR, message="cycle")
+    ])
+    monkeypatch.setattr(
+        lint_pkg, "lint_shipped_configs", lambda: {"broken": bad}
+    )
+    assert main(["lint", "--experiments"]) == 1

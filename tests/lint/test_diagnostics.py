@@ -1,0 +1,107 @@
+"""Tests for the shared diagnostic model and its renderers."""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint import (
+    Diagnostic,
+    LintError,
+    LintReport,
+    RULE_CATALOG,
+    SCHEMA_VERSION,
+    Severity,
+    all_passes,
+)
+from repro.lint.diagnostics import SARIF_VERSION
+
+
+def _diag(code: str = "RL101", sev: Severity = Severity.ERROR) -> Diagnostic:
+    return Diagnostic(
+        code=code,
+        severity=sev,
+        message="value is broadcast",
+        hint="serialize it",
+        nodes=(("cell", 0, 1, 2),),
+        cells=(3,),
+    )
+
+
+def test_severity_ordering() -> None:
+    assert Severity.INFO.rank < Severity.WARNING.rank < Severity.ERROR.rank
+    assert Severity.ERROR.sarif_level == "error"
+    assert Severity.INFO.sarif_level == "note"
+
+
+def test_diagnostic_location_and_dict() -> None:
+    d = _diag()
+    loc = d.location()
+    assert "node (cell,0,1,2)" in loc
+    assert "cell 3" in loc
+    doc = d.to_dict()
+    assert doc["code"] == "RL101"
+    assert doc["severity"] == "error"
+    assert doc["nodes"] == ["(cell,0,1,2)"]
+    json.dumps(doc)  # JSON-safe
+
+
+def test_report_counts_and_by_code() -> None:
+    rep = LintReport(target="t")
+    rep.extend([_diag(), _diag("RL202", Severity.WARNING)])
+    assert rep.counts() == {"error": 1, "warning": 1, "info": 0}
+    assert rep.codes() == {"RL101", "RL202"}
+    assert len(rep.by_code("RL202")) == 1
+    assert not rep.ok
+    assert len(rep) == 2
+
+
+def test_report_text_rendering() -> None:
+    rep = LintReport(target="design-x", passes_run=("graph.broadcast",))
+    rep.extend([_diag()])
+    text = rep.to_text()
+    assert "lint: design-x" in text
+    assert "RL101" in text and "hint:" in text
+    assert "1 error(s)" in text
+
+
+def test_report_json_is_versioned() -> None:
+    rep = LintReport(target="t")
+    doc = json.loads(rep.to_json())
+    assert doc["version"] == SCHEMA_VERSION
+    assert doc["ok"] is True
+    assert doc["findings"] == []
+
+
+def test_report_sarif_structure() -> None:
+    rep = LintReport(target="t")
+    rep.extend([_diag(), _diag("RL202", Severity.WARNING)])
+    doc = rep.to_sarif()
+    assert doc["version"] == SARIF_VERSION
+    (run,) = doc["runs"]
+    rules = {r["id"] for r in run["tool"]["driver"]["rules"]}
+    assert rules == set(RULE_CATALOG)
+    assert [r["ruleId"] for r in run["results"]] == ["RL101", "RL202"]
+    levels = {r["level"] for r in run["results"]}
+    assert levels == {"error", "warning"}
+    # the error's logical locations carry the node and cell ids
+    locs = run["results"][0]["locations"][0]["logicalLocations"]
+    assert {"name": "(cell,0,1,2)", "kind": "member"} in locs
+    json.dumps(doc)
+
+
+def test_lint_error_summarises_first_findings() -> None:
+    rep = LintReport(target="t")
+    rep.extend([_diag(f"RL10{i}") for i in range(1, 6)])
+    err = LintError(rep)
+    assert err.report is rep
+    assert "5 error(s)" in str(err)
+    assert "(+2 more)" in str(err)
+
+
+def test_catalog_covers_every_registered_code() -> None:
+    for lp in all_passes():
+        for code in lp.codes:
+            assert code in RULE_CATALOG, f"{lp.name} emits uncatalogued {code}"
+    assert "RL001" in RULE_CATALOG  # the runner's crash code
+    for info in RULE_CATALOG.values():
+        assert info.summary and info.invariant and info.hint

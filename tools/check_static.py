@@ -1,0 +1,178 @@
+#!/usr/bin/env python
+"""Offline static self-check: the subset of the ruff gate that needs no
+third-party tools.
+
+CI's ``static`` job runs ruff and mypy (installed on the runner); this
+script covers the highest-signal checks with the standard library only,
+so a contributor without those tools still catches the common breakage
+before pushing:
+
+* files must parse (``ast.parse``);
+* no unused imports (ruff F401);
+* no duplicate imports of one name in one module (ruff F811, import form);
+* no lines over the configured limit (ruff E501);
+* in ``repro.core`` and ``repro.lint`` (the strictly-typed packages,
+  see ``mypy.ini``): every function def annotates its parameters and
+  return type.
+
+Exit status 1 when any finding is reported.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+LINE_LIMIT = 100
+STRICT_PACKAGES = ("src/repro/core", "src/repro/lint")
+
+#: Names whose import is a registration/re-export side effect, not a use.
+USED_IMPLICITLY = {"annotations"}
+
+
+def _imported_names(
+    tree: ast.Module,
+) -> list[tuple[str, str, int, bool]]:
+    """``(bound, reported, lineno, top_level)`` per import binding.
+
+    ``top_level`` distinguishes module-scope imports from the
+    function-local lazy-import idiom (the latter legitimately rebinds
+    one name in several functions).
+    """
+    top = {id(n) for n in tree.body}
+    out = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                bound = alias.asname or alias.name.split(".")[0]
+                out.append((bound, alias.name, node.lineno, id(node) in top))
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                bound = alias.asname or alias.name
+                out.append((bound, alias.name, node.lineno, id(node) in top))
+    return out
+
+
+def _used_names(tree: ast.Module) -> set[str]:
+    used: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name):
+            used.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            base = node
+            while isinstance(base, ast.Attribute):
+                base = base.value
+            if isinstance(base, ast.Name):
+                used.add(base.id)
+        elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+            # String annotations / docstrings referencing names keep them
+            # alive (the TYPE_CHECKING idiom).
+            text = node.value
+            for ch in ".[]":
+                text = text.replace(ch, " ")
+            for word in text.split():
+                used.add(word.strip("\"'`,:()| "))
+    return used
+
+
+def _exported(tree: ast.Module) -> set[str]:
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for t in node.targets:
+                if isinstance(t, ast.Name) and t.id == "__all__":
+                    try:
+                        return set(ast.literal_eval(node.value))
+                    except ValueError:
+                        return set()
+    return set()
+
+
+def check_file(path: Path, strict_types: bool) -> list[str]:
+    src = path.read_text()
+    problems: list[str] = []
+    try:
+        tree = ast.parse(src, filename=str(path))
+    except SyntaxError as exc:
+        return [f"{path}:{exc.lineno}: syntax error: {exc.msg}"]
+
+    for i, line in enumerate(src.splitlines(), 1):
+        if len(line) > LINE_LIMIT:
+            problems.append(
+                f"{path}:{i}: line too long ({len(line)} > {LINE_LIMIT})"
+            )
+
+    lines = src.splitlines()
+
+    def _noqa(lineno: int) -> bool:
+        return "noqa" in lines[lineno - 1]
+
+    used = _used_names(tree) | _exported(tree)
+    is_package_init = path.name == "__init__.py"
+    seen: dict[str, int] = {}
+    for bound, reported, lineno, top_level in _imported_names(tree):
+        if _noqa(lineno):
+            continue
+        if top_level:
+            if bound in seen and seen[bound] != lineno:
+                problems.append(
+                    f"{path}:{lineno}: redefinition of imported {bound!r} "
+                    f"(first at line {seen[bound]})"
+                )
+            seen[bound] = lineno
+        if is_package_init or bound in USED_IMPLICITLY:
+            continue  # __init__ re-exports; __future__ flags
+        if bound not in used:
+            problems.append(f"{path}:{lineno}: unused import {reported!r}")
+
+    if strict_types:
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.name.startswith("__") and node.name.endswith("__"):
+                continue
+            args = node.args
+            params = (
+                args.posonlyargs + args.args + args.kwonlyargs
+                + ([args.vararg] if args.vararg else [])
+                + ([args.kwarg] if args.kwarg else [])
+            )
+            missing = [
+                a.arg
+                for a in params
+                if a.annotation is None and a.arg not in ("self", "cls")
+            ]
+            if missing:
+                problems.append(
+                    f"{path}:{node.lineno}: {node.name}() has unannotated "
+                    f"parameter(s): {', '.join(missing)}"
+                )
+            if node.returns is None:
+                problems.append(
+                    f"{path}:{node.lineno}: {node.name}() has no return "
+                    "annotation"
+                )
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    root = Path(argv[1]) if len(argv) > 1 else Path(".")
+    problems: list[str] = []
+    for path in sorted((root / "src").rglob("*.py")):
+        rel = path.relative_to(root).as_posix()
+        strict = any(rel.startswith(p) for p in STRICT_PACKAGES)
+        problems.extend(check_file(path, strict_types=strict))
+    for line in problems:
+        print(line)
+    n_files = len(list((root / "src").rglob("*.py")))
+    print(
+        f"check_static: {n_files} file(s), {len(problems)} problem(s)",
+        file=sys.stderr,
+    )
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
