@@ -35,6 +35,7 @@ from .plan import ExecutionPlan
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..obs.probe import Probe
+    from ..resilience.faults import Injector
 
 __all__ = [
     "SimResult",
@@ -205,6 +206,7 @@ def simulate(
     semiring: Semiring = BOOLEAN,
     strict: bool = False,
     probe: "Probe | None" = None,
+    inject: "Injector | None" = None,
 ) -> SimResult:
     """Execute ``dg`` under ``plan`` and measure everything.
 
@@ -218,6 +220,12 @@ def simulate(
         events (fires, operand reads classified by source, input
         deadlines, violations).  ``None`` (the default) costs one
         ``is not None`` check per event site — nothing else.
+    inject:
+        Optional :class:`repro.resilience.faults.Injector` that may
+        corrupt the value a firing produces on its ``out`` port or
+        drop/substitute a host input word.  Same zero-overhead contract
+        as ``probe``: ``None`` costs one ``is not None`` check per fire
+        and per input load.
 
     Notes
     -----
@@ -297,7 +305,10 @@ def simulate(
             if kind is NodeKind.INPUT:
                 if nid not in inputs:
                     raise GraphError(f"no value supplied for input {nid!r}")
-                values[nid] = {"out": inputs[nid]}
+                value = inputs[nid]
+                if inject is not None:
+                    value = inject.on_host_word(nid, value)
+                values[nid] = {"out": value}
                 continue
             if kind is NodeKind.CONST:
                 values[nid] = {"out": d["value"]}
@@ -327,6 +338,10 @@ def simulate(
             else:  # PASS / DELAY
                 (ref,) = operands.values()
                 values[nid] = {"out": values[ref[0]][ref[1]]}
+            if inject is not None:
+                values[nid]["out"] = inject.on_fire_value(
+                    t, cell, nid, values[nid]["out"]
+                )
 
         outputs = {nid: values[nid]["out"] for nid in dg.outputs}
         sp.tag("makespan", plan.makespan)

@@ -44,8 +44,23 @@ class FaultReport:
 
     @property
     def retention(self) -> Fraction:
-        """Degraded throughput as a fraction of healthy throughput."""
+        """Fraction of healthy throughput the degraded array retains.
+
+        Throughput is problems per cycle, i.e. ``1 / total_time``, so
+        retention is ``T_healthy / T_degraded`` — at most 1, and exactly
+        1 for zero failures.  The resilience runtime cross-validates
+        this static prediction against the *measured* degraded clock of
+        a fault-driven run (``RecoveryResult.degraded_throughput``);
+        the two agree because both execute the same re-partitioned
+        schedule.
+        """
         return Fraction(self.healthy_time, self.degraded_time)
+
+    @property
+    def slowdown(self) -> Fraction:
+        """``T_degraded / T_healthy`` — at least 1; the inverse lens on
+        :attr:`retention` for reports quoting runtime growth."""
+        return Fraction(self.degraded_time, self.healthy_time)
 
     @property
     def cells_lost(self) -> int:

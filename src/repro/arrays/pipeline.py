@@ -98,6 +98,9 @@ class ChainedRun:
     delta: int
     result: SimResult
     outputs: list[dict[NodeId, Any]]
+    #: Makespan of one instance alone — the baseline the measured
+    #: initiation interval is derived against.
+    base_makespan: int = 0
 
     @property
     def ok(self) -> bool:
@@ -113,8 +116,19 @@ class ChainedRun:
 
     @property
     def measured_initiation_interval(self) -> float:
-        """Makespan growth per added instance (== delta when legal)."""
-        return self.delta
+        """Measured makespan growth per added instance.
+
+        ``(combined_makespan - base_makespan) / (k - 1)`` — derived
+        from the co-simulation, not echoed from the requested ``delta``.
+        A legal chain fires instance ``i`` exactly ``i * delta`` cycles
+        after instance 0, so this equals ``delta``; a mis-chained plan
+        (stretched offsets, a stalled instance) shows up as a larger
+        value.  With ``k == 1`` there is no growth to measure and the
+        requested ``delta`` is reported.
+        """
+        if self.k <= 1:
+            return float(self.delta)
+        return (self.result.makespan - self.base_makespan) / (self.k - 1)
 
 
 def run_chained_instances(
@@ -155,4 +169,7 @@ def run_chained_instances(
     for nid, value in res.outputs.items():
         _, i, orig = nid
         outputs[i][orig[1:]] = value  # ("out", i, j) -> (i, j)
-    return ChainedRun(k=k, delta=delta, result=res, outputs=outputs)
+    return ChainedRun(
+        k=k, delta=delta, result=res, outputs=outputs,
+        base_makespan=plan.makespan,
+    )

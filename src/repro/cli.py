@@ -10,6 +10,7 @@ Examples::
     python -m repro fixed --n 9
     python -m repro lint --n 12 --m 4
     python -m repro lint --experiments --format sarif --out lint.sarif
+    python -m repro faults --seed 0 --experiments
     python -m repro trace --n 12 --m 4 --trace-out t.json
     python -m repro stats --n 12 --m 4
     python -m repro perfcheck --baseline benchmarks/perf_baseline.json \\
@@ -93,6 +94,29 @@ def build_parser() -> argparse.ArgumentParser:
                    default="text")
     s.add_argument("--out", metavar="FILE", default=None,
                    help="write the report to FILE instead of stdout")
+
+    s = sub.add_parser(
+        "faults",
+        help="run a seeded fault-injection campaign through the resilience "
+             "runtime (inject / detect / recover / verify; see "
+             "docs/resilience.md)",
+    )
+    s.add_argument("--seed", type=int, default=0,
+                   help="campaign seed (same seed => identical campaign)")
+    s.add_argument("--experiments", action="store_true",
+                   help="inject into every shipped campaign configuration "
+                        "(the CI gate's workload)")
+    s.add_argument("--config", default=None, metavar="NAME",
+                   help="inject into one shipped campaign configuration")
+    s.add_argument("--kinds", default=None, metavar="K1,K2",
+                   help="comma-separated fault kinds to inject "
+                        "(permanent, transient, dropped_word; default: all)")
+    s.add_argument("--format", choices=("text", "json"), default="text")
+    s.add_argument("--out", metavar="FILE", default=None,
+                   help="write the report to FILE instead of stdout")
+    s.add_argument("--trace-out", metavar="FILE", default=None,
+                   help="write a Chrome trace JSON of the recovery timelines "
+                        "(one process lane per run; open in Perfetto)")
 
     s = sub.add_parser(
         "reproduce",
@@ -390,6 +414,66 @@ def _cmd_lint(args) -> int:
     return 1 if errors else 0
 
 
+def _cmd_faults(args) -> int:
+    import json
+    from pathlib import Path
+
+    from .resilience import (
+        FaultKind,
+        campaign_config,
+        run_campaign,
+        timeline_chrome_events,
+    )
+    from .resilience.report import RESILIENCE_PID
+
+    if args.experiments and args.config:
+        print("faults: --experiments and --config are mutually exclusive",
+              file=sys.stderr)
+        return 2
+    configs = None
+    if args.config:
+        try:
+            configs = [campaign_config(args.config)]
+        except KeyError as exc:
+            print(f"faults: {exc.args[0]}", file=sys.stderr)
+            return 2
+    kinds = None
+    if args.kinds:
+        try:
+            kinds = [FaultKind(k.strip()) for k in args.kinds.split(",")]
+        except ValueError:
+            print("faults: unknown fault kind; choose from "
+                  + ", ".join(k.value for k in FaultKind), file=sys.stderr)
+            return 2
+
+    result = run_campaign(seed=args.seed, configs=configs, kinds=kinds)
+
+    if args.trace_out:
+        events = []
+        for i, run in enumerate(r for r in result.runs if r.result is not None):
+            for ev in timeline_chrome_events(run.result):
+                ev["pid"] = RESILIENCE_PID + i  # one process lane per run
+                events.append(ev)
+        Path(args.trace_out).write_text(
+            json.dumps({"traceEvents": events}, indent=2) + "\n"
+        )
+        print(f"faults: wrote {len(events)} trace events to {args.trace_out} "
+              "-- open in https://ui.perfetto.dev")
+
+    if args.format == "json":
+        body = json.dumps(result.to_dict(), indent=2, sort_keys=True)
+    else:
+        body = result.to_text()
+    if args.out:
+        good = sum(1 for r in result.runs if r.ok)
+        Path(args.out).write_text(body + "\n")
+        print(f"faults: wrote {args.format} report to {args.out} "
+              f"({good}/{len(result.runs)} runs ok)")
+    else:
+        print(body)
+    return 0 if result.ok else 1
+
+
 def _cmd_reproduce(args) -> int:
     from .experiments import EXPERIMENTS
     from .viz import format_table
@@ -570,6 +654,7 @@ _COMMANDS = {
     "level": _cmd_level,
     "fixed": _cmd_fixed,
     "lint": _cmd_lint,
+    "faults": _cmd_faults,
     "reproduce": _cmd_reproduce,
     "trace": _cmd_trace,
     "stats": _cmd_stats,

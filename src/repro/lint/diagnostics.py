@@ -264,6 +264,16 @@ RULE_CATALOG: dict[str, RuleInfo] = {
             "use the aligned (skew-blocked) G-set selection and the "
             "vertical-path schedule so input G-sets are spaced apart",
         ),
+        RuleInfo(
+            "RL401",
+            "recovery plan unsound",
+            "a mid-run resume fires only uncommitted nodes, maps every "
+            "logical cell onto a surviving physical cell, and (with the "
+            "checkpointed nodes) still covers the whole computation",
+            "Sec. 5 (degraded linear/mesh operation)",
+            "rebuild the resume from the checkpoint store and the "
+            "re-partitioned G-set plan; never edit a recovery plan by hand",
+        ),
     )
 }
 

@@ -1,0 +1,112 @@
+"""RL4xx — resilience passes over mid-run recovery plans.
+
+After diagnosing a permanent fault the resilience runtime re-partitions
+the uncommitted remainder of the G-graph for the surviving cells and
+builds a :class:`~repro.resilience.checkpoint.RecoveryPlan`.  RL401
+proves, *before* a single cycle executes on the degraded array, that the
+resume is sound:
+
+* no committed node is fired again (a re-fire would double-write its
+  parked words and waste degraded-array cycles);
+* every logical cell the resumed schedule uses maps onto a surviving
+  physical cell — none retired, none unmapped;
+* the resumed fires plus the checkpointed nodes cover every
+  slot-occupying node, so the run can actually complete.
+
+The runtime invokes this pass as a preflight on every re-partition; it
+is also reachable through the ordinary :func:`repro.lint.run_lint`
+surface for tests and tooling.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .diagnostics import Diagnostic, Severity
+from .registry import LintTarget, lint_pass
+
+__all__: list[str] = []
+
+#: Cap on ids echoed into one diagnostic (mirrors passes_graph._capped).
+_MAX_IDS = 4
+
+
+@lint_pass("recovery.sound", codes=("RL401",), requires=("recovery",))
+def check_recovery_sound(target: LintTarget) -> Iterable[Diagnostic]:
+    """RL401: the resume re-fires committed work, uses dead cells, or
+    leaves part of the computation unreachable."""
+    rp = target.recovery
+    assert rp is not None
+    diags: list[Diagnostic] = []
+
+    refired = sorted(rp.to_fire & rp.committed, key=repr)
+    if refired:
+        diags.append(
+            Diagnostic(
+                code="RL401",
+                severity=Severity.ERROR,
+                message=(
+                    f"{len(refired)} committed node(s) scheduled to fire "
+                    f"again (first: {refired[:_MAX_IDS]})"
+                ),
+                hint="resume from the checkpoint store; committed G-sets "
+                "must be skipped, not re-executed",
+                nodes=tuple(refired[:_MAX_IDS]),
+            )
+        )
+
+    bad_cells = []
+    for nid in sorted(rp.to_fire, key=repr):
+        logical = rp.cell_of.get(nid)
+        if logical is None:
+            bad_cells.append((nid, None, "no cell assignment"))
+            continue
+        phys = rp.cell_map.get(logical)
+        if phys is None:
+            bad_cells.append((nid, logical, "logical cell unmapped"))
+        elif phys in rp.retired:
+            bad_cells.append((nid, phys, "mapped to retired cell"))
+    if bad_cells:
+        diags.append(
+            Diagnostic(
+                code="RL401",
+                severity=Severity.ERROR,
+                message=(
+                    f"{len(bad_cells)} node(s) land on dead or unmapped "
+                    "cells (first: "
+                    + ", ".join(
+                        f"{nid!r}: {why} ({cell!r})"
+                        for nid, cell, why in bad_cells[:_MAX_IDS]
+                    )
+                    + ")"
+                ),
+                hint="rebuild the logical-to-physical cell map from the "
+                "surviving cells only",
+                nodes=tuple(nid for nid, _, _ in bad_cells[:_MAX_IDS]),
+                cells=tuple(
+                    cell
+                    for _, cell, _ in bad_cells[:_MAX_IDS]
+                    if cell is not None
+                ),
+            )
+        )
+
+    uncovered = sorted(
+        rp.slot_nodes - rp.to_fire - rp.committed, key=repr
+    )
+    if uncovered:
+        diags.append(
+            Diagnostic(
+                code="RL401",
+                severity=Severity.ERROR,
+                message=(
+                    f"{len(uncovered)} slot node(s) neither committed nor "
+                    f"scheduled to fire (first: {uncovered[:_MAX_IDS]}) — "
+                    "the resumed run can never complete"
+                ),
+                hint="re-partition the *whole* uncommitted remainder of "
+                "the G-graph, not a subset",
+                nodes=tuple(uncovered[:_MAX_IDS]),
+            )
+        )
+    return diags

@@ -28,6 +28,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guards
     from ..core.graph import DependenceGraph
     from ..core.gsets import GSet, GSetPlan
     from ..core.partitioner import PartitionedImplementation
+    from ..resilience.checkpoint import RecoveryPlan
 
 __all__ = ["LintTarget", "LintPass", "lint_pass", "all_passes", "run_lint"]
 
@@ -56,6 +57,10 @@ class LintTarget:
     fanout_threshold:
         Fan-out above which RL101 reports a broadcast (2 matches
         :func:`repro.core.analysis.is_pipelined`).
+    recovery:
+        A mid-run :class:`repro.resilience.checkpoint.RecoveryPlan` for
+        the RL4xx resilience passes; the resilience runtime lints one
+        before resuming on a degraded array.
     """
 
     description: str = "design"
@@ -66,6 +71,7 @@ class LintTarget:
     exec_plan: "ExecutionPlan | None" = None
     io_bound: Fraction | None = None
     fanout_threshold: int = 2
+    recovery: "RecoveryPlan | None" = None
 
     @classmethod
     def from_graph(
@@ -121,7 +127,7 @@ class LintPass:
 #: independent of which pass module happens to be imported first.
 _REGISTRY: dict[str, LintPass] = {}
 
-_STAGE_ORDER = {"graph": 0, "schedule": 1, "array": 2}
+_STAGE_ORDER = {"graph": 0, "schedule": 1, "array": 2, "recovery": 3}
 
 
 def _ordered(passes: Iterable[LintPass]) -> list[LintPass]:
@@ -161,11 +167,12 @@ def _ensure_loaded() -> None:
     """Import the pass modules so their registrations run.
 
     Import order is registration order is execution order:
-    graph -> schedule -> array.
+    graph -> schedule -> array -> recovery.
     """
     from . import passes_graph  # noqa: F401
     from . import passes_schedule  # noqa: F401
     from . import passes_array  # noqa: F401
+    from . import passes_recovery  # noqa: F401
 
 
 def run_lint(

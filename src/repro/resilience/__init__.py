@@ -1,0 +1,80 @@
+"""Resilience runtime: fault injection, checkpointing, mid-run recovery.
+
+The paper's partitioned arrays (Sec. 5) are naturally fault-tolerant:
+cut-and-pile already parks every cross-G-set value in external memory,
+so a G-set boundary is a free checkpoint, and the partitioning machinery
+that cut the G-graph for ``m`` cells can re-cut it mid-run for the
+``m - f`` cells that survive a permanent failure.  This package makes
+that argument *measured runtime behaviour*:
+
+* :mod:`~repro.resilience.faults` — the fault model (permanent cell
+  death, transient single-firing corruption, dropped host words) and the
+  injection seam into :func:`repro.arrays.cycle_sim.simulate`;
+* :mod:`~repro.resilience.detect` — signature recompute-and-compare and
+  the host-channel deadline watchdog;
+* :mod:`~repro.resilience.checkpoint` — the G-set-boundary checkpoint
+  store and the :class:`RecoveryPlan` the RL401 lint pass proves sound;
+* :mod:`~repro.resilience.runtime` — the G-set-stepped executor with
+  retries, permanent-fault diagnosis and mid-run re-partitioning;
+* :mod:`~repro.resilience.campaign` — seeded campaigns over the shipped
+  experiment configurations (the CI ``faults`` gate);
+* :mod:`~repro.resilience.report` — recovery timelines in the Chrome
+  trace export.
+"""
+
+from .campaign import (
+    CAMPAIGN_CONFIGS,
+    CampaignConfig,
+    CampaignDesign,
+    CampaignResult,
+    CampaignRun,
+    build_design,
+    campaign_config,
+    plan_fault,
+    run_campaign,
+)
+from .checkpoint import CheckpointStore, RecoveryPlan
+from .detect import DetectionEvent, FaultDetected, check_signatures, check_watchdog
+from .faults import AttemptInjector, FaultKind, FaultSpec, Injector, corrupt
+from .report import add_recovery_trace, timeline_chrome_events
+from .runtime import (
+    RecoveryExhausted,
+    RecoveryPolicy,
+    RecoveryResult,
+    ResilienceError,
+    TimelineEvent,
+    run_resilient,
+    run_resilient_closure,
+)
+
+__all__ = [
+    "AttemptInjector",
+    "CAMPAIGN_CONFIGS",
+    "CampaignConfig",
+    "CampaignDesign",
+    "CampaignResult",
+    "CampaignRun",
+    "build_design",
+    "campaign_config",
+    "CheckpointStore",
+    "DetectionEvent",
+    "FaultDetected",
+    "FaultKind",
+    "FaultSpec",
+    "Injector",
+    "RecoveryExhausted",
+    "RecoveryPlan",
+    "RecoveryPolicy",
+    "RecoveryResult",
+    "ResilienceError",
+    "TimelineEvent",
+    "add_recovery_trace",
+    "check_signatures",
+    "check_watchdog",
+    "corrupt",
+    "plan_fault",
+    "run_campaign",
+    "run_resilient",
+    "run_resilient_closure",
+    "timeline_chrome_events",
+]

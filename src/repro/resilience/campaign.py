@@ -1,0 +1,398 @@
+"""Seeded fault-injection campaigns over the shipped experiment designs.
+
+A campaign takes every shipped partitioned configuration (the same
+design points the lint gate proves clean, plus a 3x3 mesh), plans one
+fault of each kind against each design with a deterministic
+seed-derived RNG, and drives the resilient runtime through
+inject -> detect -> recover -> verify.  The CI ``faults`` job gates on
+``CampaignResult.ok``: every planned fault actually fired, every fired
+fault was detected, every run completed, and every recovered output
+equals the software oracle.
+
+Seeding is stringly deterministic — ``random.Random(f"{seed}:{config}:
+{kind}")`` — so a campaign replays identically across processes and
+platforms (no ``hash()``, no global RNG state).
+
+The fixed-size array of Fig. 17 is deliberately *not* a campaign
+target: it has no G-set barriers to checkpoint at and no spare cells to
+re-partition onto — the paper's partitioned arrays are the
+fault-tolerant ones, and the campaign measures exactly that.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import TYPE_CHECKING, Any, Hashable, Sequence
+
+import numpy as np
+
+from ..algorithms import transitive_closure as tc
+from ..arrays.plan import partitioned_plan
+from ..core.semiring import BOOLEAN, Semiring
+from ..obs.metrics import get_registry
+from .faults import FaultKind, FaultSpec
+from .runtime import RecoveryPolicy, RecoveryResult, ResilienceError, run_resilient
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guards
+    from ..core.ggraph import GGraph
+    from ..core.graph import DependenceGraph
+    from ..core.gsets import GSet, GSetPlan
+
+__all__ = [
+    "CampaignConfig",
+    "CampaignDesign",
+    "CampaignRun",
+    "CampaignResult",
+    "CAMPAIGN_CONFIGS",
+    "campaign_config",
+    "plan_fault",
+    "run_campaign",
+]
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """One named design point a campaign injects faults into."""
+
+    name: str
+    description: str
+    n: int
+    m: int
+    geometry: str = "linear"
+    policy: str = "vertical"
+    aligned: bool = True
+    memory_aware: bool = False
+
+
+@dataclass
+class CampaignDesign:
+    """A built design: the artefacts the resilient runtime consumes."""
+
+    config: CampaignConfig
+    dg: "DependenceGraph"
+    gg: "GGraph"
+    plan: "GSetPlan"
+    order: "list[GSet]"
+    semiring: Semiring
+
+
+#: The campaign's design points: the six partitioned lint-gate configs
+#: plus a 3x3 mesh (so mesh row retirement is exercised on more than
+#: one surviving row).
+CAMPAIGN_CONFIGS: tuple[CampaignConfig, ...] = (
+    CampaignConfig(
+        "linear-n12-m4",
+        "F18 reference point: linear array, aligned, vertical policy",
+        n=12, m=4,
+    ),
+    CampaignConfig(
+        "linear-n9-m3",
+        "F21 host-bandwidth point: linear array with m | n",
+        n=9, m=3,
+    ),
+    CampaignConfig(
+        "mesh-n8-m4",
+        "F19 reference point: 2x2 mesh",
+        n=8, m=4, geometry="mesh",
+    ),
+    CampaignConfig(
+        "linear-horizontal-n12-m4",
+        "F20/A-POL variant: horizontal-path schedule policy",
+        n=12, m=4, policy="horizontal",
+    ),
+    CampaignConfig(
+        "linear-packed-n12-m4",
+        "A-ALN ablation: packed (non-aligned) linear blocks",
+        n=12, m=4, aligned=False,
+    ),
+    CampaignConfig(
+        "linear-memaware-n12-m4",
+        "A-POL optimization: memory-aware greedy schedule",
+        n=12, m=4, memory_aware=True,
+    ),
+    CampaignConfig(
+        "mesh-n12-m9",
+        "3x3 mesh: row retirement leaves a working 2x3 array",
+        n=12, m=9, geometry="mesh",
+    ),
+)
+
+
+def campaign_config(name: str) -> CampaignConfig:
+    """Look up a shipped campaign configuration by name."""
+    by_name = {c.name: c for c in CAMPAIGN_CONFIGS}
+    if name not in by_name:
+        raise KeyError(
+            f"unknown campaign config {name!r}; available: {sorted(by_name)}"
+        )
+    return by_name[name]
+
+
+def build_design(config: CampaignConfig) -> CampaignDesign:
+    """Construct the design artefacts for one campaign configuration."""
+    if config.memory_aware:
+        from ..core.ggraph import GGraph, group_by_columns
+        from ..core.gsets import make_linear_gsets
+        from ..core.schedopt import schedule_gsets_memory_aware
+
+        dg = tc.tc_regular(config.n)
+        gg = GGraph(dg, group_by_columns)
+        plan = make_linear_gsets(gg, config.m, aligned=config.aligned)
+        order = list(schedule_gsets_memory_aware(plan))
+        return CampaignDesign(
+            config=config, dg=dg, gg=gg, plan=plan, order=order,
+            semiring=BOOLEAN,
+        )
+    from ..core.partitioner import partition_transitive_closure
+
+    impl = partition_transitive_closure(
+        n=config.n, m=config.m, geometry=config.geometry,
+        policy=config.policy, aligned=config.aligned,
+    )
+    return CampaignDesign(
+        config=config, dg=impl.dg, gg=impl.gg, plan=impl.plan,
+        order=list(impl.order), semiring=impl.semiring,
+    )
+
+
+def seeded_matrix(n: int, rng: random.Random, density: float = 0.4) -> np.ndarray:
+    """A reproducible boolean adjacency matrix for campaign inputs."""
+    return np.array(
+        [[1 if rng.random() < density else 0 for _ in range(n)] for _ in range(n)],
+        dtype=np.int64,
+    )
+
+
+def plan_fault(
+    design: CampaignDesign, kind: FaultKind, rng: random.Random
+) -> FaultSpec:
+    """Target one fault of ``kind`` at ``design``, seeded by ``rng``.
+
+    Targets are chosen so the fault is guaranteed to fire: transient
+    faults hit a slot node (every slot node fires exactly once per run),
+    dropped words hit a consumed primary input, and permanent faults hit
+    a cell that fires with an onset no later than its last healthy
+    firing.
+    """
+    dg = design.dg
+    if kind is FaultKind.TRANSIENT:
+        slots = [
+            nid for nid in dg.topological_order()
+            if dg.kind(nid).occupies_slot
+        ]
+        return FaultSpec(kind=kind, node=rng.choice(slots))
+    if kind is FaultKind.DROPPED_WORD:
+        consumed = sorted(
+            (nid for nid in dg.inputs if dg.consumers(nid)), key=repr
+        )
+        return FaultSpec(kind=kind, node=rng.choice(consumed))
+    # Permanent: a physical cell of the healthy plan, dying while it
+    # still has work left (onset <= its last healthy firing).
+    ep = partitioned_plan(design.plan, design.order)
+    last_fire: dict[Hashable, int] = {}
+    for cell, t in ep.fires.values():
+        last_fire[cell] = max(last_fire.get(cell, -1), t)
+    cells = sorted(last_fire, key=repr)
+    cell = cells[rng.randrange(len(cells))]
+    onset = rng.randint(0, last_fire[cell])
+    return FaultSpec(kind=kind, cell=cell, onset=onset)
+
+
+@dataclass
+class CampaignRun:
+    """The measured outcome of one (config, fault kind) campaign cell."""
+
+    config: str
+    kind: str
+    fault: str
+    injected: bool
+    detected: bool
+    recovered: bool
+    oracle_ok: bool
+    detections: int
+    retries: int
+    repartitions: int
+    total_cycles: int
+    healthy_cycles: int
+    overhead_cycles: int
+    degraded_throughput: Fraction
+    error: "str | None" = None
+    result: "RecoveryResult | None" = field(default=None, repr=False)
+
+    @property
+    def ok(self) -> bool:
+        """Injected, detected, recovered, and oracle-correct."""
+        return (
+            self.error is None
+            and self.injected
+            and self.detected
+            and self.recovered
+            and self.oracle_ok
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe rendering (the heavyweight result object elided)."""
+        return {
+            "config": self.config,
+            "kind": self.kind,
+            "fault": self.fault,
+            "ok": self.ok,
+            "injected": self.injected,
+            "detected": self.detected,
+            "recovered": self.recovered,
+            "oracle_ok": self.oracle_ok,
+            "detections": self.detections,
+            "retries": self.retries,
+            "repartitions": self.repartitions,
+            "total_cycles": self.total_cycles,
+            "healthy_cycles": self.healthy_cycles,
+            "overhead_cycles": self.overhead_cycles,
+            "degraded_throughput": float(self.degraded_throughput),
+            "error": self.error,
+        }
+
+
+@dataclass
+class CampaignResult:
+    """Every run of one seeded campaign, plus the aggregate verdict."""
+
+    seed: int
+    runs: list[CampaignRun]
+
+    @property
+    def ok(self) -> bool:
+        """The CI gate: 100% injected, detected, recovered, verified."""
+        return bool(self.runs) and all(r.ok for r in self.runs)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe rendering for ``repro faults --format json``."""
+        return {
+            "seed": self.seed,
+            "ok": self.ok,
+            "runs": [r.to_dict() for r in self.runs],
+        }
+
+    def to_text(self) -> str:
+        """Human-readable campaign table."""
+        lines = [f"fault campaign (seed {self.seed})", ""]
+        header = (
+            f"{'config':<26} {'kind':<13} {'ok':<4} {'det':>3} "
+            f"{'rty':>3} {'rep':>3} {'cycles':>7} {'ovh':>5} {'thr':>6}"
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for r in self.runs:
+            lines.append(
+                f"{r.config:<26} {r.kind:<13} "
+                f"{'yes' if r.ok else 'NO':<4} {r.detections:>3} "
+                f"{r.retries:>3} {r.repartitions:>3} {r.total_cycles:>7} "
+                f"{r.overhead_cycles:>5} {float(r.degraded_throughput):>6.3f}"
+            )
+            if r.error:
+                lines.append(f"    error: {r.error}")
+        good = sum(1 for r in self.runs if r.ok)
+        lines.append("")
+        lines.append(
+            f"{good}/{len(self.runs)} runs ok "
+            f"(injected, detected, recovered, oracle-verified)"
+        )
+        return "\n".join(lines)
+
+
+def run_campaign(
+    seed: int = 0,
+    configs: "Sequence[CampaignConfig | str] | None" = None,
+    kinds: "Sequence[FaultKind | str] | None" = None,
+    policy: RecoveryPolicy = RecoveryPolicy(),
+    record_metrics: bool = True,
+) -> CampaignResult:
+    """Run one seeded campaign: every config x every fault kind.
+
+    Each run injects exactly one planned fault and must detect it,
+    recover, and produce the oracle's output.  A
+    :class:`~repro.resilience.runtime.RecoveryExhausted` (or any
+    resilience error) is recorded on the run — the campaign never
+    crashes half way — and fails the aggregate verdict.
+    """
+    chosen = [
+        campaign_config(c) if isinstance(c, str) else c
+        for c in (configs if configs is not None else CAMPAIGN_CONFIGS)
+    ]
+    chosen_kinds = [
+        FaultKind(k) if isinstance(k, str) else k
+        for k in (kinds if kinds is not None else tuple(FaultKind))
+    ]
+    runs: list[CampaignRun] = []
+    for config in chosen:
+        design = build_design(config)
+        a = seeded_matrix(
+            config.n, random.Random(f"{seed}:{config.name}:matrix")
+        )
+        inputs = tc.make_inputs(a, design.semiring)
+        for kind in chosen_kinds:
+            rng = random.Random(f"{seed}:{config.name}:{kind.value}")
+            spec = plan_fault(design, kind, rng)
+            error: "str | None" = None
+            result: "RecoveryResult | None" = None
+            try:
+                result = run_resilient(
+                    design.dg, design.gg, design.plan, design.order,
+                    inputs,
+                    semiring=design.semiring,
+                    faults=[spec],
+                    policy=policy,
+                    aligned=config.aligned,
+                    record_metrics=record_metrics,
+                    description=f"{config.name}:{kind.value}",
+                )
+            except ResilienceError as exc:
+                error = f"{type(exc).__name__}: {exc}"
+            if result is not None:
+                run = CampaignRun(
+                    config=config.name,
+                    kind=kind.value,
+                    fault=spec.describe(),
+                    injected=spec.triggered,
+                    detected=(
+                        spec.triggered
+                        and result.detected_fault_count
+                        >= len(result.injected)
+                    ),
+                    recovered=result.recovered,
+                    oracle_ok=bool(result.oracle_ok),
+                    detections=len(result.detections),
+                    retries=result.retries,
+                    repartitions=result.repartitions,
+                    total_cycles=result.total_cycles,
+                    healthy_cycles=result.healthy_cycles,
+                    overhead_cycles=result.overhead_cycles,
+                    degraded_throughput=result.degraded_throughput,
+                    result=result,
+                )
+            else:
+                run = CampaignRun(
+                    config=config.name,
+                    kind=kind.value,
+                    fault=spec.describe(),
+                    injected=spec.triggered,
+                    detected=False,
+                    recovered=False,
+                    oracle_ok=False,
+                    detections=0,
+                    retries=0,
+                    repartitions=0,
+                    total_cycles=0,
+                    healthy_cycles=0,
+                    overhead_cycles=0,
+                    degraded_throughput=Fraction(0),
+                    error=error,
+                )
+            runs.append(run)
+            if record_metrics:
+                get_registry().counter(
+                    "repro_fault_campaign_runs_total",
+                    "campaign runs by config, kind and verdict",
+                ).inc(config=config.name, kind=kind.value, ok=run.ok)
+    return CampaignResult(seed=seed, runs=runs)

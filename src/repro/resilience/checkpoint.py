@@ -1,0 +1,105 @@
+"""G-set checkpointing: the cut-and-pile memories as recovery barriers.
+
+Cut-and-pile already parks every value that crosses a G-set boundary in
+external memory (the ``+2``-cycle round trip the simulator charges).
+Those parking points are therefore *free* checkpoints: committing a
+G-set means writing its boundary values — exactly the words the healthy
+execution writes anyway — plus marking its members done.
+
+**Why a checkpoint is always sufficient to resume, on any re-partition:**
+commits happen at the granularity of the G-sets of the partition that
+executed them.  Consider any dependence edge from a committed node ``u``
+to an uncommitted node ``v``.  ``u``'s whole G-set committed and ``v``
+did not, so ``u`` and ``v`` were in *different* G-sets of that partition
+— the edge crossed a G-set boundary, so ``u``'s value was parked at
+commit time.  Hence every value an uncommitted node can ever need is
+either in the store, a host input, or produced by the resumed execution
+itself; the new partition (``m - f`` linear chain, row-retired mesh) can
+be anything.
+
+:class:`RecoveryPlan` is the structured resume description the runtime
+builds after a re-partition and the RL401 lint pass proves sound before
+a single cycle executes on the degraded array.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Iterable, Mapping
+
+from ..core.graph import NodeId
+
+__all__ = ["CheckpointStore", "RecoveryPlan"]
+
+
+@dataclass
+class CheckpointStore:
+    """Committed G-set state: parked boundary values + done markers.
+
+    ``values`` is keyed by ``(node id, output port)`` — the same
+    coordinates the cut-and-pile external memories use.  ``fire_cycle``
+    records the absolute cycle each committed node fired at, so resumed
+    plans can honour the ``+2``-cycle memory round trip exactly like
+    :func:`repro.arrays.plan.partitioned_plan` does.
+    """
+
+    values: dict[tuple[NodeId, str], Any] = field(default_factory=dict)
+    committed_nodes: set[NodeId] = field(default_factory=set)
+    committed_sids: list[tuple] = field(default_factory=list)
+    fire_cycle: dict[NodeId, int] = field(default_factory=dict)
+    #: Total boundary words written across all commits (parked traffic).
+    words_written: int = 0
+
+    def commit(
+        self,
+        sid: tuple,
+        nodes: Iterable[NodeId],
+        parked: Mapping[tuple[NodeId, str], Any],
+        fires: Mapping[NodeId, int],
+    ) -> None:
+        """Mark one G-set done and park its boundary values."""
+        self.values.update(parked)
+        self.committed_nodes.update(nodes)
+        self.committed_sids.append(sid)
+        self.fire_cycle.update(fires)
+        self.words_written += len(parked)
+
+    def has(self, node: NodeId) -> bool:
+        """True when ``node`` has committed."""
+        return node in self.committed_nodes
+
+    def read(self, node: NodeId, out_port: str) -> Any:
+        """A parked value (KeyError when the word was never parked)."""
+        return self.values[(node, out_port)]
+
+
+@dataclass
+class RecoveryPlan:
+    """A resumed execution after a mid-run re-partition.
+
+    The RL401 lint pass (``recovery.sound``) checks, before the runtime
+    resumes, that
+
+    * no node in :attr:`to_fire` is already in :attr:`committed`
+      (a re-fired committed node would double-write its parked words and
+      waste degraded-array cycles);
+    * every logical cell used by :attr:`cell_of` maps through
+      :attr:`cell_map` onto a surviving physical cell (none in
+      :attr:`retired`, no unmapped logical cell);
+    * :attr:`to_fire` and :attr:`committed` together cover
+      :attr:`slot_nodes` (otherwise the resumed run can never complete).
+    """
+
+    description: str
+    #: Nodes the resumed schedule will fire (uncommitted slot nodes).
+    to_fire: frozenset[NodeId]
+    #: Nodes already committed to the checkpoint store.
+    committed: frozenset[NodeId]
+    #: Every slot-occupying node of the graph (the completion target).
+    slot_nodes: frozenset[NodeId]
+    #: Logical cell each to-fire node runs on under the new partition.
+    cell_of: dict[NodeId, Hashable]
+    #: Logical -> physical cell map of the degraded array.
+    cell_map: dict[Hashable, Hashable]
+    #: Physical cells diagnosed dead and retired.
+    retired: frozenset[Hashable]

@@ -1,0 +1,162 @@
+"""Fault detection: signature recompute-and-compare + deadline watchdog.
+
+Two detectors, matched to the fault model:
+
+* :func:`check_signatures` — after a G-set attempt, the host recomputes
+  the set's member values in software from the same checkpointed/host
+  inputs (:func:`repro.core.evaluate.evaluate_full` over the attempt
+  subgraph) and compares every member's ``out`` port against what the
+  array produced.  Because injected corruption only ever lands on ``out``
+  ports (see :mod:`repro.resilience.faults`) and every corruption source
+  an attempt can read is either a checked member ``out``, a reliable
+  parked word, or a host word guarded by the watchdog, a *full-rate*
+  signature check (``sample_rate=1``) detects every value fault — even
+  ones the idempotent boolean OR would mask before they reach a parked
+  boundary word.  Lower sample rates trade that guarantee for recompute
+  cost and are measured, not default.
+* :func:`check_watchdog` — the host channel's delivery log (the
+  simulated stand-in for a parity/timeout detector at the memory/host
+  interface) is inspected for words that missed their delivery deadline;
+  a dropped word is detected even when the substituted zero happens to
+  leave every computed value unchanged.
+
+Both raise :class:`FaultDetected` — a structured event carrying the
+G-set, the mismatched nodes, and the implicated *physical* cells, which
+is what the runtime's permanent-fault diagnosis consumes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Hashable, Mapping
+
+from ..core.evaluate import evaluate_full
+from ..core.graph import DependenceGraph, NodeId
+from ..core.semiring import Semiring
+from .faults import AttemptInjector
+
+__all__ = ["FaultDetected", "check_signatures", "check_watchdog"]
+
+
+@dataclass
+class DetectionEvent:
+    """The structured payload of one detection."""
+
+    reason: str  # "signature_mismatch" | "dropped_word"
+    sid: tuple
+    attempt: int
+    clock: int
+    nodes: tuple[NodeId, ...]
+    cells: tuple[Hashable, ...]
+
+
+class FaultDetected(Exception):
+    """A detector found evidence of a fault during one G-set attempt.
+
+    Structured fields mirror :class:`DetectionEvent` (also available
+    whole on :attr:`event`): ``reason`` is ``"signature_mismatch"`` or
+    ``"dropped_word"``, ``nodes`` the mismatched/lost node ids, and
+    ``cells`` the implicated *physical* cells (empty for dropped words,
+    which implicate the channel, not a cell).
+    """
+
+    def __init__(self, event: DetectionEvent) -> None:
+        self.event = event
+        self.reason = event.reason
+        self.sid = event.sid
+        self.attempt = event.attempt
+        self.clock = event.clock
+        self.nodes = event.nodes
+        self.cells = event.cells
+        where = f"G-set {event.sid} attempt {event.attempt}"
+        if event.reason == "dropped_word":
+            detail = f"host words lost: {list(event.nodes)!r}"
+        else:
+            detail = (
+                f"{len(event.nodes)} signature mismatch(es), "
+                f"implicating cell(s) {sorted(map(repr, event.cells))}"
+            )
+        super().__init__(f"{event.reason} in {where}: {detail}")
+
+
+def check_watchdog(
+    injector: AttemptInjector, sid: tuple, attempt: int, clock: int
+) -> None:
+    """Raise :class:`FaultDetected` for words the channel failed to deliver."""
+    if injector.dropped_words:
+        raise FaultDetected(
+            DetectionEvent(
+                reason="dropped_word",
+                sid=sid,
+                attempt=attempt,
+                clock=clock,
+                nodes=tuple(injector.dropped_words),
+                cells=(),
+            )
+        )
+
+
+def check_signatures(
+    sub_dg: DependenceGraph,
+    sub_inputs: Mapping[NodeId, Any],
+    semiring: Semiring,
+    members: tuple[NodeId, ...],
+    computed: Mapping[NodeId, Any],
+    cell_of: Mapping[NodeId, Hashable],
+    cell_map: Mapping[Hashable, Hashable],
+    sid: tuple,
+    attempt: int,
+    clock: int,
+    sample_rate: float = 1.0,
+    rng: "random.Random | None" = None,
+) -> None:
+    """Recompute the attempt in software and compare member signatures.
+
+    ``computed[nid]`` is the ``out`` value the array produced for member
+    ``nid`` (the simulator's ``("sig", nid)`` output taps).  With
+    ``sample_rate < 1`` only a seeded subset of members is compared
+    (``rng`` supplies the coin; required then).
+    """
+    checked = members
+    if sample_rate < 1.0:
+        if rng is None:
+            raise ValueError("sample_rate < 1 requires an rng")
+        checked = tuple(n for n in members if rng.random() < sample_rate)
+    if not checked:
+        return
+    oracle = evaluate_full(sub_dg, sub_inputs, semiring)
+    bad = tuple(
+        nid for nid in checked if bool(computed[nid] != oracle[nid]["out"])
+    )
+    if bad:
+        # Implicate only *root* mismatches — bad nodes none of whose
+        # in-set producers are bad themselves.  A corrupted node's value
+        # propagates downstream, so every mismatch set contains the fault
+        # origin plus innocent consumers; rooting keeps the permanent
+        # diagnosis from retiring healthy cells along with the dead one.
+        bad_set = set(bad)
+        roots = tuple(
+            nid
+            for nid in bad
+            if not any(
+                src in bad_set
+                for src, _ in sub_dg.operands(nid).values()
+            )
+        ) or bad
+        phys = tuple(
+            sorted(
+                {cell_map.get(cell_of[n], cell_of[n]) for n in roots},
+                key=repr,
+            )
+        )
+        raise FaultDetected(
+            DetectionEvent(
+                reason="signature_mismatch",
+                sid=sid,
+                attempt=attempt,
+                clock=clock,
+                nodes=bad,
+                cells=phys,
+            )
+        )

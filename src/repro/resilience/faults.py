@@ -1,0 +1,181 @@
+"""Fault model and injection for the resilience runtime.
+
+Three physical failure modes, all expressed against the *healthy* design
+so campaigns can be planned before anything breaks:
+
+* **permanent** — a cell dies at an absolute cycle ``onset``; every value
+  it produces from that cycle on is corrupted, forever.  Named by
+  *physical* cell: after a re-partition the logical cells are renumbered,
+  but the dead silicon stays dead.
+* **transient** — a single-event upset corrupting the value one firing of
+  one node produces; the fault is consumed by triggering, so a retry of
+  the affected G-set computes cleanly.
+* **dropped_word** — the host/memory channel loses one input word; the
+  cell reads the semiring's zero instead.  The channel's delivery log
+  records the loss (the model of a parity/timeout detector at the host
+  interface), and a re-request on retry succeeds.
+
+Corruption is semiring-aware: :func:`corrupt` maps the additive identity
+to the multiplicative one and anything else to the additive identity, so
+an injected fault always *changes* the value (a flip for the boolean
+closure, a zero/one swap elsewhere) — which is what makes full-rate
+signature detection exhaustive.
+
+The :class:`Injector` protocol is the seam
+:func:`repro.arrays.cycle_sim.simulate` calls behind an ``is not None``
+check, mirroring the probe seam's zero-overhead-when-disabled contract.
+:class:`AttemptInjector` is the runtime's implementation, scoped to one
+G-set attempt with the current logical-to-physical cell map.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Mapping, Protocol, Sequence, runtime_checkable
+
+from ..core.graph import NodeId
+from ..core.semiring import Semiring
+
+__all__ = [
+    "FaultKind",
+    "FaultSpec",
+    "Injector",
+    "AttemptInjector",
+    "corrupt",
+]
+
+
+class FaultKind(enum.Enum):
+    """The three injected failure modes."""
+
+    PERMANENT = "permanent"
+    TRANSIENT = "transient"
+    DROPPED_WORD = "dropped_word"
+
+
+@dataclass
+class FaultSpec:
+    """One planned fault of a seeded campaign.
+
+    ``cell`` (physical) and ``onset`` apply to permanent faults; ``node``
+    names the corrupted firing of a transient fault or the lost host word
+    of a dropped-word fault.  ``triggered`` flips when the fault first
+    fires so one-shot faults (transient, dropped word) are consumed by
+    their first occurrence.
+    """
+
+    kind: FaultKind
+    cell: Hashable = None
+    onset: int = 0
+    node: NodeId = None
+    triggered: bool = field(default=False, compare=False)
+
+    def describe(self) -> str:
+        """Compact human-readable form for reports and timelines."""
+        if self.kind is FaultKind.PERMANENT:
+            return f"permanent(cell={self.cell!r}, onset={self.onset})"
+        if self.kind is FaultKind.TRANSIENT:
+            return f"transient(node={self.node!r})"
+        return f"dropped_word(node={self.node!r})"
+
+
+def corrupt(semiring: Semiring, value: Any) -> Any:
+    """A value guaranteed to differ from ``value`` under the semiring.
+
+    The additive identity becomes the multiplicative identity and
+    anything else becomes the additive identity — a bit flip for the
+    boolean closure, a finite/zero swap for the numeric semirings.
+    """
+    if value == semiring.zero:
+        return semiring.one
+    return semiring.zero
+
+
+@runtime_checkable
+class Injector(Protocol):
+    """What the cycle simulator calls when ``inject`` is supplied."""
+
+    def on_fire_value(
+        self, cycle: int, cell: Hashable, node: NodeId, value: Any
+    ) -> Any:
+        """Return the (possibly corrupted) value a firing produces."""
+        ...  # pragma: no cover - protocol
+
+    def on_host_word(self, node: NodeId, value: Any) -> Any:
+        """Return the value the host channel delivers for an input word."""
+        ...  # pragma: no cover - protocol
+
+
+class AttemptInjector:
+    """Applies a campaign's armed faults during one G-set attempt.
+
+    Parameters
+    ----------
+    faults:
+        The run's fault list (shared across attempts; one-shot faults
+        carry their consumed state in :attr:`FaultSpec.triggered`).
+    semiring:
+        Algebra used for value corruption and dropped-word substitution.
+    cell_map:
+        Current logical-to-physical cell map (identity on the healthy
+        array); permanent faults name physical cells.
+    """
+
+    def __init__(
+        self,
+        faults: Sequence[FaultSpec],
+        semiring: Semiring,
+        cell_map: Mapping[Hashable, Hashable],
+    ) -> None:
+        self.semiring = semiring
+        self.cell_map = dict(cell_map)
+        self.permanent = [f for f in faults if f.kind is FaultKind.PERMANENT]
+        self.transient = {
+            f.node: f
+            for f in faults
+            if f.kind is FaultKind.TRANSIENT and not f.triggered
+        }
+        self.drops = {
+            f.node: f
+            for f in faults
+            if f.kind is FaultKind.DROPPED_WORD and not f.triggered
+        }
+        #: Host words the channel failed to deliver during this attempt —
+        #: what the deadline watchdog inspects (the simulated stand-in for
+        #: a parity/timeout detector at the host interface).
+        self.dropped_words: list[NodeId] = []
+        #: Firings corrupted during this attempt (ground truth for tests).
+        self.corrupted_fires: list[tuple[int, Hashable, NodeId]] = []
+        #: Specs that fired during this attempt — what a detection in this
+        #: attempt is attributed to when campaigns count coverage.
+        self.triggered_specs: list[FaultSpec] = []
+
+    def on_fire_value(
+        self, cycle: int, cell: Hashable, node: NodeId, value: Any
+    ) -> Any:
+        """Corrupt the fired value when a permanent/transient fault hits."""
+        phys = self.cell_map.get(cell, cell)
+        for f in self.permanent:
+            if f.cell == phys and cycle >= f.onset:
+                f.triggered = True
+                self.triggered_specs.append(f)
+                self.corrupted_fires.append((cycle, phys, node))
+                return corrupt(self.semiring, value)
+        t = self.transient.get(node)
+        if t is not None and not t.triggered:
+            t.triggered = True
+            self.triggered_specs.append(t)
+            self.corrupted_fires.append((cycle, phys, node))
+            return corrupt(self.semiring, value)
+        return value
+
+    def on_host_word(self, node: NodeId, value: Any) -> Any:
+        """Drop the word (deliver the semiring zero) when armed."""
+        d = self.drops.get(node)
+        if d is not None and not d.triggered:
+            d.triggered = True
+            self.triggered_specs.append(d)
+            self.dropped_words.append(node)
+            return self.semiring.zero
+        return value

@@ -1,0 +1,86 @@
+"""Rendering resilient runs: recovery timelines as Chrome trace events.
+
+The recovery timeline rides the same Chrome trace-event export as the
+simulator probes and the stage spans (:mod:`repro.obs.tracing`): one
+dedicated process lane (:data:`RESILIENCE_PID`) where G-set commits,
+failed attempts, backoff waits and re-partitions appear as duration
+(``X``) events on the simulated-cycle timebase (1 "microsecond" = 1
+cycle, matching :func:`repro.obs.report.probe_chrome_events`), plus
+instant (``i``) markers for each detection.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.tracing import Tracer
+    from .runtime import RecoveryResult
+
+__all__ = ["RESILIENCE_PID", "timeline_chrome_events", "add_recovery_trace"]
+
+#: Trace process lane for recovery timelines (the simulator uses 2).
+RESILIENCE_PID = 3
+
+#: One trace thread lane per timeline event kind, in display order.
+_KIND_TIDS = {"gset": 1, "skip": 1, "retry": 2, "backoff": 2, "repartition": 3}
+_TID_NAMES = {1: "commits", 2: "retries", 3: "repartitions"}
+
+
+def timeline_chrome_events(result: "RecoveryResult") -> list[dict]:
+    """Chrome trace events for one resilient run's recovery timeline."""
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": RESILIENCE_PID,
+            "args": {"name": f"recovery: {result.description}"},
+        }
+    ]
+    for tid, name in _TID_NAMES.items():
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": RESILIENCE_PID,
+                "tid": tid,
+                "args": {"name": name},
+            }
+        )
+    for ev in result.timeline:
+        events.append(
+            {
+                "name": f"{ev.kind} {ev.sid!r}",
+                "ph": "X",
+                "ts": float(ev.start),
+                "dur": float(max(ev.end - ev.start, 1)),
+                "pid": RESILIENCE_PID,
+                "tid": _KIND_TIDS.get(ev.kind, 1),
+                "cat": f"resilience.{ev.kind}",
+                "args": {"gset": repr(ev.sid), "detail": ev.detail},
+            }
+        )
+    for d in result.detections:
+        events.append(
+            {
+                "name": f"detected: {d.reason}",
+                "ph": "i",
+                "ts": float(d.clock),
+                "pid": RESILIENCE_PID,
+                "tid": _KIND_TIDS["retry"],
+                "s": "p",
+                "cat": "resilience.detect",
+                "args": {
+                    "gset": repr(d.sid),
+                    "attempt": d.attempt,
+                    "nodes": [repr(n) for n in d.nodes],
+                    "cells": [repr(c) for c in d.cells],
+                },
+            }
+        )
+    return events
+
+
+def add_recovery_trace(tracer: "Tracer", result: "RecoveryResult") -> None:
+    """Attach one run's recovery timeline to a tracer's Chrome export."""
+    tracer.add_chrome_events(timeline_chrome_events(result))

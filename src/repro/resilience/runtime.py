@@ -1,0 +1,753 @@
+"""The resilient executor: G-set-stepped runs with mid-run recovery.
+
+Instead of simulating one monolithic execution plan, the resilient
+runtime drives the pile one G-set at a time — the same cells, the same
+skews, the same cycles as :func:`repro.arrays.plan.partitioned_plan`
+(a fault-free resilient run fires every node at the *identical*
+``(cell, cycle)``; the test suite asserts this) — but with a commit
+barrier after every set:
+
+1. build the set's attempt subgraph (operands from earlier sets become
+   reads of the checkpoint store — the cut-and-pile external memories);
+2. simulate it at absolute cycles, with the campaign's injector armed;
+3. run the detectors (deadline watchdog, then full-rate signature
+   recompute-and-compare);
+4. on success, park the set's boundary words and commit; on
+   :class:`~repro.resilience.detect.FaultDetected`, retry with backoff —
+   and when the same physical cell stays implicated across
+   ``permanent_threshold`` consecutive detections, diagnose a permanent
+   fault, retire the cell (linear bypass ``m -> m-f``; mesh row
+   retirement), re-partition the *uncommitted remainder* of the G-graph
+   with the existing :func:`~repro.core.gsets.make_linear_gsets` /
+   :func:`~repro.core.gsets.make_mesh_gsets` machinery, lint the
+   resulting :class:`~repro.resilience.checkpoint.RecoveryPlan` (RL401),
+   and resume from the checkpoint.
+
+Every cycle of overhead — failed attempts, backoff, re-partition
+control, idle slots left by committed members inside re-cut G-sets — is
+accounted on the same clock the healthy run uses, so
+``RecoveryResult.degraded_throughput`` is a measured number, not an
+estimate.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Any, Callable, Hashable, Mapping, Sequence
+
+import numpy as np
+
+from ..algorithms import transitive_closure as tc
+from ..arrays.plan import ExecutionPlan, _mesh_skew
+from ..arrays.topology import linear_topology, mesh_topology
+from ..core.evaluate import evaluate
+from ..core.ggraph import GGraph
+from ..core.graph import DependenceGraph, NodeId, NodeKind, PortRef
+from ..core.gsets import GSet, GSetPlan, make_linear_gsets, make_mesh_gsets, schedule_gsets
+from ..core.partitioner import PartitionedImplementation
+from ..core.semiring import BOOLEAN, Semiring
+from ..obs.metrics import get_registry
+from ..obs.tracing import stage_span
+from .checkpoint import CheckpointStore, RecoveryPlan
+from .detect import DetectionEvent, FaultDetected, check_signatures, check_watchdog
+from .faults import AttemptInjector, FaultSpec
+
+__all__ = [
+    "RecoveryPolicy",
+    "ResilienceError",
+    "RecoveryExhausted",
+    "TimelineEvent",
+    "RecoveryResult",
+    "run_resilient",
+    "run_resilient_closure",
+]
+
+
+class ResilienceError(RuntimeError):
+    """An unrecoverable resilience-runtime failure."""
+
+
+class RecoveryExhausted(ResilienceError):
+    """The retry budget ran out (or no cells survive) — a structured stop.
+
+    Carries the G-set that could not be completed, the number of
+    attempts spent on it, and the last detection event.
+    """
+
+    def __init__(
+        self, sid: tuple, attempts: int, last: "DetectionEvent | None", why: str
+    ) -> None:
+        self.sid = sid
+        self.attempts = attempts
+        self.last_detection = last
+        super().__init__(
+            f"recovery exhausted at G-set {sid} after {attempts} attempt(s): {why}"
+        )
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """Tunable recovery behaviour (all cycle costs land on the run clock).
+
+    Attributes
+    ----------
+    max_retries:
+        Retries allowed per G-set before :class:`RecoveryExhausted`.
+    backoff_cycles:
+        Base backoff; retry ``r`` of a set waits ``r * backoff_cycles``.
+    permanent_threshold:
+        Consecutive signature detections that must implicate one same
+        physical cell before it is diagnosed permanent and retired.
+    repartition_cycles:
+        Control-plane cost charged for a mid-run re-partition.
+    signature_sample_rate:
+        Fraction of members whose signatures are recomputed (1.0 — the
+        default — is what guarantees every value fault is caught).
+    """
+
+    max_retries: int = 4
+    backoff_cycles: int = 2
+    permanent_threshold: int = 2
+    repartition_cycles: int = 8
+    signature_sample_rate: float = 1.0
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    """One step of the recovery timeline (renderable as a trace span)."""
+
+    kind: str  # "gset" | "retry" | "backoff" | "repartition" | "skip"
+    sid: tuple
+    start: int
+    end: int
+    detail: str = ""
+
+
+@dataclass
+class RecoveryResult:
+    """Everything a resilient run measured."""
+
+    description: str
+    outputs: dict[NodeId, Any]
+    total_cycles: int
+    healthy_cycles: int
+    stall_cycles: int
+    injected: list[FaultSpec]
+    detections: list[DetectionEvent]
+    detected_fault_count: int
+    retries: int
+    repartitions: int
+    retired_cells: frozenset[Hashable]
+    final_m: int
+    words_parked: int
+    timeline: list[TimelineEvent]
+    #: Absolute cycle every committed node fired at (fault-free runs
+    #: reproduce :func:`repro.arrays.plan.partitioned_plan` exactly).
+    fire_cycles: dict[NodeId, int]
+    oracle_ok: "bool | None" = None
+
+    @property
+    def overhead_cycles(self) -> int:
+        """Cycles beyond the fault-free makespan of the healthy plan."""
+        return self.total_cycles - self.healthy_cycles
+
+    @property
+    def degraded_throughput(self) -> Fraction:
+        """Measured throughput as a fraction of the healthy run's (<= 1)."""
+        if self.total_cycles <= 0:
+            return Fraction(0)
+        return Fraction(self.healthy_cycles, self.total_cycles)
+
+    @property
+    def recovered(self) -> bool:
+        """Every detected fault was survived (the run completed)."""
+        return self.detected_fault_count == len(
+            [f for f in self.injected if f.triggered]
+        )
+
+    @property
+    def all_faults_detected(self) -> bool:
+        """Every fault that actually fired was caught by a detector."""
+        return self.recovered
+
+    def output_matrix(self, n: int, semiring: Semiring = BOOLEAN) -> np.ndarray:
+        """Assemble ``("out", i, j)`` outputs into a matrix."""
+        m = np.empty((n, n), dtype=semiring.dtype)
+        for i in range(n):
+            for j in range(n):
+                m[i, j] = self.outputs[("out", i, j)]
+        return m
+
+
+def _identity_cell_map(geometry: str, m: int, shape: tuple[int, int]) -> dict:
+    if geometry == "linear":
+        return {c: c for c in range(m)}
+    return {(r, c): (r, c) for r in range(shape[0]) for c in range(shape[1])}
+
+
+def _skew_fn(geometry: str, skew_unit: int) -> Callable[[Any], int]:
+    if geometry == "linear":
+        return lambda cell: skew_unit * int(cell)
+    return lambda cell: _mesh_skew(cell, skew_unit)
+
+
+@dataclass
+class _SetLayout:
+    """One pending G-set's uncommitted members with plan coordinates."""
+
+    sid: tuple
+    members: tuple[NodeId, ...]  # dg topological order
+    cell_of: dict[NodeId, Hashable]
+    slot_of: dict[NodeId, int]
+    comp_time: int
+
+
+def _layout(
+    s: GSet,
+    gg: GGraph,
+    committed: set[NodeId],
+    topo_index: Mapping[NodeId, int],
+) -> _SetLayout:
+    cell_of: dict[NodeId, Hashable] = {}
+    slot_of: dict[NodeId, int] = {}
+    for gid, cell in zip(s.gids, s.cells):
+        for j, nid in enumerate(gg.gnodes[gid].members):
+            if nid in committed:
+                continue
+            cell_of[nid] = cell
+            slot_of[nid] = j
+    members = tuple(sorted(cell_of, key=lambda n: topo_index[n]))
+    return _SetLayout(
+        sid=s.sid,
+        members=members,
+        cell_of=cell_of,
+        slot_of=slot_of,
+        comp_time=s.comp_time(gg),
+    )
+
+
+def _build_attempt_graph(
+    dg: DependenceGraph,
+    layout: _SetLayout,
+    store: CheckpointStore,
+    inputs: Mapping[NodeId, Any],
+) -> tuple[DependenceGraph, dict[NodeId, Any], list[tuple[NodeId, str]]]:
+    """The attempt subgraph, its input env, and the ports to park.
+
+    Members are re-added with their original ids; operands outside the
+    set become reads of the checkpoint store (synthetic
+    ``("ckpt", src, port)`` inputs), host inputs, or constants.  Output
+    taps expose every member's ``out`` port (``("sig", nid)`` — the
+    signature the detector compares) plus every forwarded port consumed
+    outside the set (``("park", nid, port)`` — the cut-and-pile words
+    the commit parks).
+    """
+    member_set = set(layout.members)
+    sub = DependenceGraph(f"{dg.name}/gset{layout.sid}")
+    sub_inputs: dict[NodeId, Any] = {}
+    node_data = dg.g.nodes
+
+    def resolve(src: NodeId, port: str) -> PortRef:
+        if src in member_set:
+            return PortRef(src, port)
+        if store.has(src):
+            synth = ("ckpt", src, port)
+            if synth not in sub:
+                sub.add_input(synth)
+                sub_inputs[synth] = store.read(src, port)
+            return PortRef(synth, "out")
+        src_kind = node_data[src]["kind"]
+        if src_kind is NodeKind.INPUT:
+            if src not in sub:
+                sub.add_input(src, tag=node_data[src].get("tag"))
+                sub_inputs[src] = inputs[src]
+            return PortRef(src, port)
+        if src_kind is NodeKind.CONST:
+            if src not in sub:
+                sub.add_const(src, node_data[src]["value"])
+            return PortRef(src, port)
+        raise ResilienceError(
+            f"G-set {layout.sid} depends on uncommitted node {src!r} "
+            "outside the set — the resumed schedule is unsound"
+        )
+
+    for nid in layout.members:
+        d = node_data[nid]
+        kind = d["kind"]
+        operands = {
+            role: resolve(src, port)
+            for role, (src, port) in d["operands"].items()
+        }
+        if kind is NodeKind.OP:
+            sub.add_op(
+                nid, d["opcode"], operands,
+                comp_time=d.get("comp_time", 1), tag=d.get("tag"),
+            )
+        elif kind in (NodeKind.PASS, NodeKind.DELAY):
+            (ref,) = operands.values()
+            sub.add_pass(nid, ref, kind=kind, tag=d.get("tag"))
+        else:  # pragma: no cover - G-nodes only group slot nodes
+            raise ResilienceError(f"non-slot node {nid!r} inside a G-node")
+
+    parked_ports: list[tuple[NodeId, str]] = []
+    for nid in layout.members:
+        sub.add_output(("sig", nid), PortRef(nid, "out"))
+        for p in dg.output_ports(nid):
+            consumed_outside = any(
+                dst not in member_set for dst, _ in dg.consumers(nid, p)
+            )
+            if consumed_outside:
+                parked_ports.append((nid, p))
+                if p != "out":
+                    sub.add_output(("park", nid, p), PortRef(nid, p))
+    return sub, sub_inputs, parked_ports
+
+
+def run_resilient(
+    dg: DependenceGraph,
+    gg: GGraph,
+    plan: GSetPlan,
+    order: Sequence[GSet],
+    inputs: Mapping[NodeId, Any],
+    semiring: Semiring = BOOLEAN,
+    faults: Sequence[FaultSpec] = (),
+    policy: RecoveryPolicy = RecoveryPolicy(),
+    aligned: bool = True,
+    reschedule: "Callable[[GSetPlan], list[GSet]] | None" = None,
+    skew_unit: int = 1,
+    verify: bool = True,
+    record_metrics: bool = True,
+    description: "str | None" = None,
+    rng: "random.Random | None" = None,
+) -> RecoveryResult:
+    """Execute a partitioned design with checkpoints, detection, recovery.
+
+    Parameters
+    ----------
+    faults:
+        Armed :class:`~repro.resilience.faults.FaultSpec` list (empty for
+        a fault-free run — which then fires every node at exactly the
+        cycles :func:`~repro.arrays.plan.partitioned_plan` assigns).
+    policy:
+        Retry/backoff/diagnosis/re-partition tuning.
+    aligned:
+        Alignment flag forwarded to :func:`make_linear_gsets` when a
+        permanent fault forces a linear re-partition.
+    reschedule:
+        Scheduler for re-partitioned plans (default: the paper's
+        vertical-path policy).
+    verify:
+        Compare the recovered outputs against the software oracle
+        (:func:`repro.core.evaluate.evaluate`) and record the verdict on
+        ``RecoveryResult.oracle_ok``.
+    record_metrics:
+        Publish ``repro_fault_*`` metrics to the process-wide registry.
+
+    Raises
+    ------
+    RecoveryExhausted
+        When one G-set exceeds the retry budget or no cells survive.
+    """
+    from ..arrays.cycle_sim import simulate
+
+    if reschedule is None:
+        reschedule = lambda p: schedule_gsets(p, "vertical")  # noqa: E731
+    desc = description or (
+        f"{dg.name} -> {plan.geometry}(m={plan.m}) resilient"
+    )
+    faults = list(faults)
+    topo_index = {nid: i for i, nid in enumerate(dg.topological_order())}
+    slot_nodes = frozenset(
+        nid for nid in topo_index
+        if dg.g.nodes[nid]["kind"].occupies_slot
+    )
+
+    geometry = plan.geometry
+    cur_m = plan.m
+    cur_shape = plan.shape
+    cell_map: dict[Hashable, Hashable] = _identity_cell_map(
+        geometry, cur_m, cur_shape
+    )
+    retired: set[Hashable] = set()
+    skew = _skew_fn(geometry, skew_unit)
+    topo = (
+        linear_topology(cur_m) if geometry == "linear"
+        else mesh_topology(*cur_shape)
+    )
+
+    store = CheckpointStore()
+    clock = 0
+    stalls = 0
+    retries = 0
+    repartitions = 0
+    timeline: list[TimelineEvent] = []
+    detections: list[DetectionEvent] = []
+    detected_spec_ids: set[int] = set()
+
+    healthy_cycles = _healthy_clock(gg, order)
+
+    queue: list[GSet] = list(order)
+    i = 0
+    attempts_this_set = 0
+    implicated_history: list[set[Hashable]] = []
+
+    with stage_span(
+        "resilience.run", graph=dg.name, geometry=geometry, m=plan.m,
+        gsets=len(order), faults=len(faults),
+    ) as sp:
+        while i < len(queue):
+            s = queue[i]
+            layout = _layout(s, gg, store.committed_nodes, topo_index)
+            if not layout.members:
+                timeline.append(
+                    TimelineEvent("skip", s.sid, clock, clock, "all committed")
+                )
+                i += 1
+                attempts_this_set = 0
+                implicated_history.clear()
+                continue
+
+            # Earliest start honouring checkpointed cross-set operands
+            # (memory round trip) — partitioned_plan's stall rule.
+            earliest = clock
+            for nid in layout.members:
+                offset = skew(layout.cell_of[nid]) + layout.slot_of[nid]
+                for src, _port in dg.g.nodes[nid]["operands"].values():
+                    prior = store.fire_cycle.get(src)
+                    if prior is not None:
+                        earliest = max(earliest, prior + 2 - offset)
+            stalls += earliest - clock
+            set_start = earliest
+
+            sub, sub_inputs, parked_ports = _build_attempt_graph(
+                dg, layout, store, inputs
+            )
+            fires = {
+                nid: (
+                    layout.cell_of[nid],
+                    set_start + skew(layout.cell_of[nid]) + layout.slot_of[nid],
+                )
+                for nid in layout.members
+            }
+            ep = ExecutionPlan(
+                topology=topo,
+                fires=fires,
+                description=f"gset {s.sid} attempt {attempts_this_set + 1}",
+            )
+            ep.validate_exclusive()
+
+            injector = AttemptInjector(faults, semiring, cell_map)
+            res = simulate(ep, sub, sub_inputs, semiring, inject=injector)
+            if res.violations:  # pragma: no cover - internal invariant
+                raise ResilienceError(
+                    f"attempt plan for G-set {s.sid} violated timing: "
+                    f"{res.violations[0]}"
+                )
+            attempts_this_set += 1
+            attempt_end = set_start + layout.comp_time
+
+            try:
+                check_watchdog(
+                    injector, s.sid, attempts_this_set, set_start
+                )
+                computed = {
+                    nid: res.outputs[("sig", nid)] for nid in layout.members
+                }
+                check_signatures(
+                    sub, sub_inputs, semiring, layout.members, computed,
+                    layout.cell_of, cell_map, s.sid, attempts_this_set,
+                    set_start,
+                    sample_rate=policy.signature_sample_rate, rng=rng,
+                )
+            except FaultDetected as fd:
+                detections.append(fd.event)
+                detected_spec_ids.update(
+                    id(f) for f in injector.triggered_specs
+                )
+                timeline.append(
+                    TimelineEvent(
+                        "retry", s.sid, set_start, attempt_end,
+                        f"attempt {attempts_this_set}: {fd.reason}",
+                    )
+                )
+                retries += 1
+                if attempts_this_set > policy.max_retries:
+                    raise RecoveryExhausted(
+                        s.sid, attempts_this_set, fd.event,
+                        f"retry budget ({policy.max_retries}) exhausted; "
+                        f"last detection: {fd}",
+                    ) from fd
+                # Wasted attempt cycles + linear backoff, on the clock.
+                backoff = policy.backoff_cycles * attempts_this_set
+                clock = attempt_end + backoff
+                if backoff:
+                    timeline.append(
+                        TimelineEvent(
+                            "backoff", s.sid, attempt_end, clock,
+                            f"{backoff} cycle(s)",
+                        )
+                    )
+                if fd.reason == "signature_mismatch":
+                    implicated_history.append(set(fd.cells))
+                else:
+                    implicated_history.clear()  # channel fault, no cell
+                diagnosed = _diagnose(implicated_history, policy)
+                if diagnosed:
+                    retired |= diagnosed
+                    repartitions += 1
+                    (
+                        queue, i, cur_m, cur_shape, cell_map, topo,
+                    ) = _repartition(
+                        dg, gg, geometry, plan.m, plan.shape, retired,
+                        aligned, reschedule, store, slot_nodes, s.sid,
+                        diagnosed,
+                    )
+                    rep_end = clock + policy.repartition_cycles
+                    timeline.append(
+                        TimelineEvent(
+                            "repartition", s.sid, clock, rep_end,
+                            f"retired {sorted(map(repr, diagnosed))} -> "
+                            f"m={cur_m}",
+                        )
+                    )
+                    clock = rep_end
+                    attempts_this_set = 0
+                    implicated_history.clear()
+                continue
+
+            # Committed: park the boundary words, advance the pile clock.
+            parked = {
+                (nid, p): (
+                    res.outputs[("sig", nid)] if p == "out"
+                    else res.outputs[("park", nid, p)]
+                )
+                for nid, p in parked_ports
+            }
+            store.commit(
+                s.sid, layout.members, parked,
+                {nid: fires[nid][1] for nid in layout.members},
+            )
+            timeline.append(
+                TimelineEvent(
+                    "gset", s.sid, set_start, attempt_end,
+                    f"{len(layout.members)} node(s), "
+                    f"{len(parked)} word(s) parked",
+                )
+            )
+            clock = attempt_end
+            i += 1
+            attempts_this_set = 0
+            implicated_history.clear()
+
+        outputs: dict[NodeId, Any] = {}
+        for out_nid in dg.outputs:
+            ((src, port),) = dg.g.nodes[out_nid]["operands"].values()
+            outputs[out_nid] = store.read(src, port)
+        sp.tag("total_cycles", clock)
+        sp.tag("retries", retries)
+        sp.tag("repartitions", repartitions)
+
+    injected = [f for f in faults if f.triggered]
+    detected_count = sum(1 for f in injected if id(f) in detected_spec_ids)
+    oracle_ok: "bool | None" = None
+    if verify:
+        oracle = evaluate(dg, inputs, semiring)
+        oracle_ok = all(
+            bool(outputs[nid] == oracle[nid]) for nid in dg.outputs
+        )
+
+    result = RecoveryResult(
+        description=desc,
+        outputs=outputs,
+        total_cycles=clock,
+        healthy_cycles=healthy_cycles,
+        stall_cycles=stalls,
+        injected=injected,
+        detections=detections,
+        detected_fault_count=detected_count,
+        retries=retries,
+        repartitions=repartitions,
+        retired_cells=frozenset(retired),
+        final_m=cur_m,
+        words_parked=store.words_written,
+        fire_cycles=dict(store.fire_cycle),
+        timeline=timeline,
+        oracle_ok=oracle_ok,
+    )
+    if record_metrics:
+        _record_metrics(result)
+    return result
+
+
+def _healthy_clock(gg: GGraph, order: Sequence[GSet]) -> int:
+    """The fault-free pile clock: back-to-back set computation times.
+
+    Matches both the resilient runtime's fault-free clock and (zero
+    stalls, the paper's regime) the schedule evaluator's total time.
+    """
+    return sum(s.comp_time(gg) for s in order)
+
+
+def _diagnose(
+    history: Sequence[set[Hashable]], policy: RecoveryPolicy
+) -> set[Hashable]:
+    """Physical cells implicated by every one of the last N detections."""
+    k = policy.permanent_threshold
+    if len(history) < k:
+        return set()
+    suspect = set(history[-1])
+    for cells in list(history)[-k:]:
+        suspect &= cells
+    return suspect
+
+
+def _repartition(
+    dg: DependenceGraph,
+    gg: GGraph,
+    geometry: str,
+    m0: int,
+    shape0: tuple[int, int],
+    retired: set[Hashable],
+    aligned: bool,
+    reschedule: Callable[[GSetPlan], list[GSet]],
+    store: CheckpointStore,
+    slot_nodes: frozenset[NodeId],
+    at_sid: tuple,
+    newly_retired: set[Hashable],
+) -> tuple:
+    """Re-cut the G-graph for the surviving cells and lint the resume."""
+    if geometry == "linear":
+        surviving = [c for c in range(m0) if c not in retired]
+        new_m = len(surviving)
+        if new_m < 1:
+            raise RecoveryExhausted(
+                at_sid, 0, None, "no surviving cells after retirement"
+            )
+        new_plan = make_linear_gsets(gg, new_m, aligned=aligned)
+        new_shape = (1, new_m)
+        new_cell_map: dict[Hashable, Hashable] = {
+            logical: phys for logical, phys in enumerate(surviving)
+        }
+        new_topo = linear_topology(new_m)
+    else:
+        dead_rows = {cell[0] for cell in retired}
+        surviving_rows = [r for r in range(shape0[0]) if r not in dead_rows]
+        rows, cols = len(surviving_rows), shape0[1]
+        if rows < 1:
+            raise RecoveryExhausted(
+                at_sid, 0, None, "no surviving mesh rows after retirement"
+            )
+        new_plan = make_mesh_gsets(gg, rows * cols, shape=(rows, cols))
+        new_m = rows * cols
+        new_shape = (rows, cols)
+        new_cell_map = {
+            (lr, c): (surviving_rows[lr], c)
+            for lr in range(rows)
+            for c in range(cols)
+        }
+        new_topo = mesh_topology(rows, cols)
+
+    new_order = reschedule(new_plan)
+    # Lint the resume (RL401) before a single degraded cycle executes.
+    committed = frozenset(store.committed_nodes)
+    cell_of: dict[NodeId, Hashable] = {}
+    for s in new_order:
+        for gid, cell in zip(s.gids, s.cells):
+            for nid in gg.gnodes[gid].members:
+                if nid not in committed:
+                    cell_of[nid] = cell
+    rp = RecoveryPlan(
+        description=(
+            f"resume {geometry} m={new_m} after retiring "
+            f"{sorted(map(repr, newly_retired))}"
+        ),
+        to_fire=frozenset(cell_of),
+        committed=committed,
+        slot_nodes=slot_nodes,
+        cell_of=cell_of,
+        cell_map=new_cell_map,
+        retired=frozenset(retired),
+    )
+    _preflight_recovery(rp)
+    return new_order, 0, new_m, new_shape, new_cell_map, new_topo
+
+
+def _preflight_recovery(rp: RecoveryPlan) -> None:
+    """RL401 gate: raise :class:`repro.lint.LintError` on an unsound resume."""
+    from ..lint import LintError, LintTarget
+    from ..lint.registry import run_lint
+
+    report = run_lint(
+        LintTarget(description=rp.description, recovery=rp),
+        record_metrics=False,
+    )
+    if not report.ok:
+        raise LintError(report)
+
+
+def _record_metrics(result: RecoveryResult) -> None:
+    reg = get_registry()
+    labels = {"design": result.description}
+    injected = reg.counter(
+        "repro_fault_injected_total", "faults that actually fired, by kind"
+    )
+    for f in result.injected:
+        injected.inc(kind=f.kind.value, **labels)
+    reg.counter(
+        "repro_fault_detected_total", "injected faults caught by a detector"
+    ).inc(result.detected_fault_count, **labels)
+    if result.recovered and (result.oracle_ok is not False):
+        reg.counter(
+            "repro_fault_recovered_total",
+            "faults survived with oracle-correct output",
+        ).inc(result.detected_fault_count, **labels)
+    reg.counter(
+        "repro_fault_retries_total", "G-set attempt retries"
+    ).inc(result.retries, **labels)
+    reg.counter(
+        "repro_fault_repartitions_total", "mid-run re-partitions"
+    ).inc(result.repartitions, **labels)
+    reg.gauge(
+        "repro_fault_recovery_overhead_cycles",
+        "cycles beyond the fault-free makespan",
+    ).set(result.overhead_cycles, **labels)
+    reg.gauge(
+        "repro_fault_degraded_throughput",
+        "measured throughput fraction of the healthy run (<= 1)",
+    ).set(result.degraded_throughput, **labels)
+    reg.gauge(
+        "repro_fault_words_parked",
+        "checkpoint words written to the cut-and-pile memories",
+    ).set(result.words_parked, **labels)
+
+
+def run_resilient_closure(
+    impl: PartitionedImplementation,
+    a: np.ndarray,
+    faults: Sequence[FaultSpec] = (),
+    policy: RecoveryPolicy = RecoveryPolicy(),
+    aligned: bool = True,
+    record_metrics: bool = True,
+    description: "str | None" = None,
+) -> RecoveryResult:
+    """Resilient execution of a partitioned transitive closure.
+
+    Convenience wrapper binding :func:`run_resilient` to the
+    transitive-closure I/O naming (``("in", i, j)`` / ``("out", i, j)``)
+    of a :class:`~repro.core.partitioner.PartitionedImplementation`.
+    """
+    return run_resilient(
+        impl.dg,
+        impl.gg,
+        impl.plan,
+        impl.order,
+        tc.make_inputs(a, impl.semiring),
+        semiring=impl.semiring,
+        faults=faults,
+        policy=policy,
+        aligned=aligned,
+        record_metrics=record_metrics,
+        description=description,
+    )

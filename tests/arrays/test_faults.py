@@ -40,3 +40,15 @@ def test_validation(tc_gg8) -> None:
         degraded_mesh(tc_gg8, m=5)
     with pytest.raises(ValueError, match="failures"):
         degraded_mesh(tc_gg8, m=4, failures=2)
+
+
+def test_retention_and_slowdown_semantics(tc_gg8) -> None:
+    """Retention is T_healthy/T_degraded (a throughput fraction <= 1)."""
+    from fractions import Fraction
+
+    rep = degraded_linear(tc_gg8, m=4, failures=1)
+    assert rep.retention == Fraction(rep.healthy_time, rep.degraded_time)
+    assert rep.retention <= 1
+    assert rep.slowdown == Fraction(rep.degraded_time, rep.healthy_time)
+    assert rep.slowdown >= 1
+    assert rep.retention * rep.slowdown == 1

@@ -99,3 +99,48 @@ class TestChainedRun:
         occ1 = run_chained_instances(dg, ep, envs[:1], delta).result.occupancy
         occ5 = run_chained_instances(dg, ep, envs, delta).result.occupancy
         assert occ5 > occ1
+
+
+class TestMeasuredInitiationInterval:
+    def test_derived_from_makespan_growth(self, fixed) -> None:
+        n, dg, ep, delta = fixed
+        envs = [make_inputs(random_adjacency(n, seed=s)) for s in range(3)]
+        run = run_chained_instances(dg, ep, envs, delta)
+        assert run.base_makespan == ep.makespan
+        assert run.measured_initiation_interval == pytest.approx(delta)
+
+    def test_single_instance_reports_requested_delta(self, fixed) -> None:
+        n, dg, ep, delta = fixed
+        env = make_inputs(random_adjacency(n, seed=0))
+        run = run_chained_instances(dg, ep, [env], delta)
+        assert run.measured_initiation_interval == float(delta)
+
+    def test_mis_chained_plan_is_caught(self, fixed) -> None:
+        """Stretched offsets must show up in the measured interval."""
+        from repro.arrays.cycle_sim import simulate
+        from repro.arrays.pipeline import ChainedRun
+        from repro.arrays.plan import ExecutionPlan
+
+        n, dg, ep, delta = fixed
+        k, stretch = 3, delta + 3
+        big_dg = replicate_graph(dg, k)
+        fires = {}
+        for i in range(k):
+            for nid, (cell, t) in ep.fires.items():
+                fires[("inst", i, nid)] = (cell, t + i * stretch)
+        bad = ExecutionPlan(
+            topology=ep.topology, fires=fires, description="mis-chained"
+        )
+        bad.validate_exclusive()
+        big_inputs = {}
+        for i in range(k):
+            env = make_inputs(random_adjacency(n, seed=i))
+            for nid, v in env.items():
+                big_inputs[("inst", i, nid)] = v
+        res = simulate(bad, big_dg, big_inputs)
+        run = ChainedRun(
+            k=k, delta=delta, result=res, outputs=[],
+            base_makespan=ep.makespan,
+        )
+        assert run.measured_initiation_interval == pytest.approx(stretch)
+        assert run.measured_initiation_interval != delta

@@ -1,0 +1,128 @@
+"""RL401 mutation corpus: sound recovery plans lint clean, broken ones
+(re-fired committed nodes, dead/unmapped cells, uncovered slot nodes)
+are caught before a resumed run executes a single degraded cycle."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.lint import LintTarget, run_lint
+from repro.resilience import RecoveryPlan
+
+
+def make_plan(**overrides) -> RecoveryPlan:
+    """A sound resume: nodes c/d fire on logical cells 0/1, which map to
+    surviving physical cells 0/2 (physical 1 retired)."""
+    base = dict(
+        description="resume linear m=2 after retiring [1]",
+        to_fire=frozenset({"c", "d"}),
+        committed=frozenset({"a", "b"}),
+        slot_nodes=frozenset({"a", "b", "c", "d"}),
+        cell_of={"c": 0, "d": 1},
+        cell_map={0: 0, 1: 2},
+        retired=frozenset({1}),
+    )
+    base.update(overrides)
+    return RecoveryPlan(**base)
+
+
+def lint(rp: RecoveryPlan):
+    return run_lint(
+        LintTarget(description=rp.description, recovery=rp),
+        record_metrics=False,
+    )
+
+
+def test_sound_plan_is_clean() -> None:
+    report = lint(make_plan())
+    assert report.ok
+    assert "RL401" not in report.codes()
+
+
+def test_recovery_target_runs_only_the_recovery_pass() -> None:
+    report = lint(make_plan())
+    assert report.passes_run == ("recovery.sound",)
+
+
+def test_refired_committed_node() -> None:
+    report = lint(
+        make_plan(
+            to_fire=frozenset({"b", "c", "d"}),
+            cell_of={"b": 0, "c": 0, "d": 1},
+        )
+    )
+    assert not report.ok
+    assert "RL401" in report.codes()
+    assert any("fire again" in d.message for d in report.errors)
+
+
+def test_node_mapped_to_retired_cell() -> None:
+    report = lint(make_plan(cell_map={0: 0, 1: 1}))
+    assert not report.ok
+    assert any("retired cell" in d.message for d in report.errors)
+
+
+def test_unmapped_logical_cell() -> None:
+    report = lint(make_plan(cell_map={0: 0}))
+    assert not report.ok
+    assert any("unmapped" in d.message for d in report.errors)
+
+
+def test_node_without_cell_assignment() -> None:
+    report = lint(make_plan(cell_of={"c": 0}))
+    assert not report.ok
+    assert any("no cell assignment" in d.message for d in report.errors)
+
+
+def test_uncovered_slot_nodes() -> None:
+    report = lint(
+        make_plan(to_fire=frozenset({"c"}), cell_of={"c": 0})
+    )
+    assert not report.ok
+    assert any("never complete" in d.message for d in report.errors)
+
+
+def test_multiple_defects_all_reported() -> None:
+    report = lint(
+        make_plan(
+            to_fire=frozenset({"a", "c"}),  # re-fires a, drops d
+            cell_of={"a": 0, "c": 1},
+            cell_map={0: 0},  # logical 1 unmapped
+        )
+    )
+    assert len(report.errors) == 3
+
+
+def test_runtime_repartition_plans_lint_clean() -> None:
+    """The runtime's own recovery plans must pass their RL401 preflight
+    (a failing preflight raises LintError out of run_resilient)."""
+    from repro.core.partitioner import partition_transitive_closure
+    from repro.resilience import FaultKind, FaultSpec, run_resilient_closure
+
+    impl = partition_transitive_closure(n=9, m=3)
+    rng = np.random.default_rng(7)
+    a = (rng.random((9, 9)) < 0.4).astype(np.int64)
+    spec = FaultSpec(kind=FaultKind.PERMANENT, cell=1, onset=0)
+    result = run_resilient_closure(impl, a, faults=[spec], record_metrics=False)
+    assert result.repartitions == 1
+    assert result.oracle_ok
+
+
+def test_rl401_in_catalogue_and_registry() -> None:
+    from repro.lint import all_passes
+    from repro.lint.diagnostics import RULE_CATALOG
+
+    assert "RL401" in RULE_CATALOG
+    (rp,) = [p for p in all_passes() if p.name == "recovery.sound"]
+    assert rp.codes == ("RL401",)
+    assert rp.requires == ("recovery",)
+
+
+@pytest.mark.parametrize("stage", ["graph", "schedule", "array"])
+def test_non_recovery_targets_skip_the_pass(stage) -> None:
+    from repro.algorithms.transitive_closure import tc_regular
+    from repro.lint import lint_graph
+
+    report = lint_graph(tc_regular(5))
+    assert "recovery.sound" in report.passes_skipped

@@ -1,0 +1,101 @@
+"""Seeded campaigns: determinism, the CI gate shape, and fault planning."""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.resilience import (
+    CAMPAIGN_CONFIGS,
+    FaultKind,
+    build_design,
+    campaign_config,
+    plan_fault,
+    run_campaign,
+)
+
+
+def test_campaign_is_deterministic_across_replays() -> None:
+    kw = dict(seed=3, configs=["linear-n9-m3"], record_metrics=False)
+    first = run_campaign(**kw)
+    second = run_campaign(**kw)
+    assert first.to_dict() == second.to_dict()
+
+
+def test_campaign_subset_gate() -> None:
+    result = run_campaign(
+        seed=0, configs=["linear-n9-m3", "mesh-n8-m4"], record_metrics=False
+    )
+    assert len(result.runs) == 2 * len(FaultKind)
+    assert result.ok, result.to_text()
+    for r in result.runs:
+        assert r.injected and r.detected and r.recovered and r.oracle_ok
+
+
+def test_kinds_filter_and_string_coercion() -> None:
+    result = run_campaign(
+        seed=1, configs=["linear-n9-m3"], kinds=["transient"],
+        record_metrics=False,
+    )
+    assert [r.kind for r in result.runs] == ["transient"]
+    assert result.ok
+
+
+def test_permanent_runs_repartition() -> None:
+    result = run_campaign(
+        seed=0, configs=["linear-n12-m4"], kinds=[FaultKind.PERMANENT],
+        record_metrics=False,
+    )
+    (r,) = result.runs
+    assert r.repartitions == 1
+    assert r.overhead_cycles > 0
+    assert 0 < r.degraded_throughput < 1
+
+
+def test_result_renders_as_text_and_json() -> None:
+    result = run_campaign(
+        seed=0, configs=["linear-n9-m3"], kinds=["dropped_word"],
+        record_metrics=False,
+    )
+    text = result.to_text()
+    assert "linear-n9-m3" in text and "runs ok" in text
+    doc = json.loads(json.dumps(result.to_dict()))
+    assert doc["ok"] is True and doc["seed"] == 0
+    assert doc["runs"][0]["kind"] == "dropped_word"
+
+
+def test_unknown_config_raises_with_available_names() -> None:
+    with pytest.raises(KeyError, match="available"):
+        campaign_config("nope")
+
+
+def test_shipped_configs_cover_both_geometries_and_all_policies() -> None:
+    names = {c.name for c in CAMPAIGN_CONFIGS}
+    assert len(names) == len(CAMPAIGN_CONFIGS) == 7
+    assert any(c.geometry == "mesh" for c in CAMPAIGN_CONFIGS)
+    assert any(not c.aligned for c in CAMPAIGN_CONFIGS)
+    assert any(c.memory_aware for c in CAMPAIGN_CONFIGS)
+    assert any(c.policy == "horizontal" for c in CAMPAIGN_CONFIGS)
+
+
+def test_plan_fault_targets_are_guaranteed_to_fire() -> None:
+    design = build_design(campaign_config("linear-n9-m3"))
+    for kind in FaultKind:
+        spec = plan_fault(design, kind, random.Random(f"t:{kind.value}"))
+        assert spec.kind is kind
+        if kind is FaultKind.PERMANENT:
+            assert spec.cell is not None
+        else:
+            assert spec.node is not None and spec.node in design.dg
+
+
+def test_campaign_records_per_run_verdict_metric() -> None:
+    from repro.obs.metrics import get_registry
+
+    counter = get_registry().counter("repro_fault_campaign_runs_total")
+    before = counter.value(config="linear-n9-m3", kind="transient", ok=True)
+    run_campaign(seed=2, configs=["linear-n9-m3"], kinds=["transient"])
+    after = counter.value(config="linear-n9-m3", kind="transient", ok=True)
+    assert after == before + 1

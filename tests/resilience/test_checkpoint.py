@@ -1,0 +1,40 @@
+"""CheckpointStore semantics: commits park words, mark nodes, keep clocks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience import CheckpointStore
+
+
+def test_commit_parks_and_marks() -> None:
+    store = CheckpointStore()
+    assert not store.has("a")
+    store.commit(
+        (0,), ["a", "b"], {("a", "out"): 1, ("b", "fwd"): 0},
+        {"a": 3, "b": 4},
+    )
+    assert store.has("a") and store.has("b")
+    assert store.read("a", "out") == 1
+    assert store.read("b", "fwd") == 0
+    assert store.fire_cycle == {"a": 3, "b": 4}
+    assert store.committed_sids == [(0,)]
+    assert store.words_written == 2
+
+
+def test_words_written_accumulates_across_commits() -> None:
+    store = CheckpointStore()
+    store.commit((0,), ["a"], {("a", "out"): 1}, {"a": 0})
+    store.commit((1,), ["b"], {("b", "out"): 1, ("b", "fwd"): 1}, {"b": 5})
+    assert store.words_written == 3
+    assert store.committed_sids == [(0,), (1,)]
+    assert store.committed_nodes == {"a", "b"}
+
+
+def test_read_unparked_word_raises() -> None:
+    store = CheckpointStore()
+    store.commit((0,), ["a"], {("a", "out"): 1}, {"a": 0})
+    with pytest.raises(KeyError):
+        store.read("a", "fwd")
+    with pytest.raises(KeyError):
+        store.read("b", "out")

@@ -1,0 +1,125 @@
+"""Resilience edge cases: boundary faults, fault pairs, exhausted budgets,
+and the static fault model's validation errors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.transitive_closure import tc_regular
+from repro.arrays.faults import degraded_linear, degraded_mesh
+from repro.core.ggraph import GGraph, group_by_columns
+from repro.core.partitioner import partition_transitive_closure
+from repro.resilience import (
+    FaultKind,
+    FaultSpec,
+    RecoveryExhausted,
+    RecoveryPolicy,
+    run_resilient_closure,
+)
+
+
+@pytest.fixture(scope="module")
+def impl():
+    return partition_transitive_closure(n=9, m=3)
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    rng = np.random.default_rng(13)
+    return (rng.random((9, 9)) < 0.4).astype(np.int64)
+
+
+def _members_by_cell(impl, s) -> dict:
+    """Uncommitted slot nodes of G-set ``s``, keyed by executing cell."""
+    by_cell: dict = {}
+    for gid, cell in zip(s.gids, s.cells):
+        by_cell.setdefault(cell, []).extend(impl.gg.gnodes[gid].members)
+    return by_cell
+
+
+def test_fault_at_cycle_zero(impl, matrix) -> None:
+    """A cell dead before the very first firing: detected on the first
+    G-set, retired, and the whole run completes on the survivors."""
+    spec = FaultSpec(kind=FaultKind.PERMANENT, cell=0, onset=0)
+    result = run_resilient_closure(
+        impl, matrix, faults=[spec], record_metrics=False
+    )
+    assert result.detections[0].sid == impl.order[0].sid
+    assert result.repartitions == 1
+    assert result.retired_cells == frozenset({0})
+    assert result.recovered and result.oracle_ok
+
+
+def test_fault_in_final_gset(impl, matrix) -> None:
+    """Nothing left to hide behind: the last set's retry still lands
+    before the outputs are read, and the oracle still passes."""
+    last = impl.order[-1]
+    node = next(iter(_members_by_cell(impl, last).values()))[0]
+    spec = FaultSpec(kind=FaultKind.TRANSIENT, node=node)
+    result = run_resilient_closure(
+        impl, matrix, faults=[spec], record_metrics=False
+    )
+    assert [d.sid for d in result.detections] == [last.sid]
+    assert result.retries == 1
+    assert result.recovered and result.oracle_ok
+
+
+def test_two_faults_in_same_gset_isolates_the_permanent(impl, matrix) -> None:
+    """A transient and a permanent hitting the same G-set: the first
+    detection implicates both cells, the retry re-triggers only the
+    permanent — the diagnosis intersection retires exactly the dead
+    cell, not the transiently-hit one."""
+    first = impl.order[0]
+    by_cell = _members_by_cell(impl, first)
+    transient_cell = next(c for c in sorted(by_cell, key=repr) if c != 1)
+    specs = [
+        FaultSpec(kind=FaultKind.TRANSIENT, node=by_cell[transient_cell][0]),
+        FaultSpec(kind=FaultKind.PERMANENT, cell=1, onset=0),
+    ]
+    result = run_resilient_closure(
+        impl, matrix, faults=specs, record_metrics=False
+    )
+    assert all(f.triggered for f in specs)
+    assert result.detected_fault_count == 2
+    assert result.retired_cells == frozenset({1})
+    assert result.repartitions == 1
+    assert result.recovered and result.oracle_ok
+
+
+def test_retry_budget_exhausted_is_structured(impl, matrix) -> None:
+    """With diagnosis disabled a permanent fault burns the retry budget;
+    the structured error names the set, the attempts, and the last
+    detection."""
+    policy = RecoveryPolicy(max_retries=1, permanent_threshold=99)
+    spec = FaultSpec(kind=FaultKind.PERMANENT, cell=0, onset=0)
+    with pytest.raises(RecoveryExhausted) as ei:
+        run_resilient_closure(
+            impl, matrix, faults=[spec], policy=policy, record_metrics=False
+        )
+    err = ei.value
+    assert err.sid == impl.order[0].sid
+    assert err.attempts == policy.max_retries + 1
+    assert err.last_detection is not None
+    assert err.last_detection.reason == "signature_mismatch"
+    assert "retry budget" in str(err)
+
+
+def test_degraded_mesh_rejects_non_square_m() -> None:
+    gg = GGraph(tc_regular(8), group_by_columns)
+    with pytest.raises(ValueError, match="square"):
+        degraded_mesh(gg, 8)
+
+
+def test_degraded_mesh_rejects_too_many_failures() -> None:
+    gg = GGraph(tc_regular(9), group_by_columns)
+    with pytest.raises(ValueError, match="failures"):
+        degraded_mesh(gg, 9, failures=3)  # 3x3 mesh: < 3 row losses only
+    with pytest.raises(ValueError, match="failures"):
+        degraded_mesh(gg, 9, failures=-1)
+
+
+def test_degraded_linear_rejects_failures_out_of_range() -> None:
+    gg = GGraph(tc_regular(9), group_by_columns)
+    with pytest.raises(ValueError, match="failures"):
+        degraded_linear(gg, 3, failures=3)

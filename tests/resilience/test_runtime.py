@@ -1,0 +1,182 @@
+"""The resilient executor: fault-free fidelity, recovery paths, metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.warshall import warshall
+from repro.arrays.plan import partitioned_plan
+from repro.core.partitioner import partition_transitive_closure
+from repro.resilience import (
+    FaultKind,
+    FaultSpec,
+    run_resilient,
+    run_resilient_closure,
+)
+
+
+@pytest.fixture(scope="module")
+def impl():
+    return partition_transitive_closure(n=9, m=3)
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    rng = np.random.default_rng(11)
+    return (rng.random((9, 9)) < 0.4).astype(np.int64)
+
+
+def run(impl, a, **kw):
+    kw.setdefault("record_metrics", False)
+    return run_resilient_closure(impl, a, **kw)
+
+
+# ----------------------------------------------------------------------
+# Fault-free fidelity: the resilient runtime IS the partitioned plan
+# ----------------------------------------------------------------------
+def test_fault_free_run_matches_partitioned_plan_exactly(impl, matrix) -> None:
+    result = run(impl, matrix)
+    ep = partitioned_plan(impl.plan, impl.order)
+    assert result.fire_cycles == {
+        nid: t for nid, (_cell, t) in ep.fires.items()
+    }
+    assert result.total_cycles == result.healthy_cycles
+    assert result.overhead_cycles == 0
+    assert result.degraded_throughput == 1
+
+
+def test_fault_free_run_is_oracle_correct(impl, matrix) -> None:
+    result = run(impl, matrix)
+    assert result.oracle_ok
+    np.testing.assert_array_equal(
+        result.output_matrix(9), warshall(matrix)
+    )
+
+
+def test_fault_free_timeline_is_all_commits(impl, matrix) -> None:
+    result = run(impl, matrix)
+    assert result.timeline
+    assert {ev.kind for ev in result.timeline} == {"gset"}
+    assert not result.detections
+    assert result.retries == 0 and result.repartitions == 0
+    assert result.retired_cells == frozenset()
+    assert result.final_m == 3
+    assert result.words_parked > 0
+
+
+# ----------------------------------------------------------------------
+# The three recovery paths
+# ----------------------------------------------------------------------
+def test_transient_fault_is_retried_once(impl, matrix) -> None:
+    node = next(
+        nid for nid in impl.dg.topological_order()
+        if impl.dg.kind(nid).occupies_slot
+    )
+    spec = FaultSpec(kind=FaultKind.TRANSIENT, node=node)
+    result = run(impl, matrix, faults=[spec])
+    assert spec.triggered
+    assert [d.reason for d in result.detections] == ["signature_mismatch"]
+    assert result.retries == 1
+    assert result.repartitions == 0
+    assert result.recovered and result.oracle_ok
+    assert result.overhead_cycles > 0
+    assert result.degraded_throughput < 1
+
+
+def test_dropped_word_is_caught_by_the_watchdog(impl, matrix) -> None:
+    node = next(nid for nid in impl.dg.inputs if impl.dg.consumers(nid))
+    spec = FaultSpec(kind=FaultKind.DROPPED_WORD, node=node)
+    result = run(impl, matrix, faults=[spec])
+    assert spec.triggered
+    assert [d.reason for d in result.detections] == ["dropped_word"]
+    assert result.detections[0].cells == ()  # channel fault, no cell
+    assert result.retries == 1 and result.repartitions == 0
+    assert result.recovered and result.oracle_ok
+
+
+def test_permanent_fault_retires_the_cell_and_repartitions(impl, matrix) -> None:
+    spec = FaultSpec(kind=FaultKind.PERMANENT, cell=1, onset=40)
+    result = run(impl, matrix, faults=[spec])
+    assert spec.triggered
+    assert result.repartitions == 1
+    assert result.retired_cells == frozenset({1})
+    assert result.final_m == 2
+    assert result.recovered and result.oracle_ok
+    kinds = [ev.kind for ev in result.timeline]
+    assert "repartition" in kinds and "retry" in kinds
+    np.testing.assert_array_equal(
+        result.output_matrix(9), warshall(matrix)
+    )
+
+
+def test_mesh_permanent_fault_retires_a_row() -> None:
+    impl = partition_transitive_closure(n=8, m=4, geometry="mesh")
+    rng = np.random.default_rng(5)
+    a = (rng.random((8, 8)) < 0.4).astype(np.int64)
+    spec = FaultSpec(kind=FaultKind.PERMANENT, cell=(0, 1), onset=0)
+    result = run(impl, a, faults=[spec])
+    assert result.repartitions == 1
+    assert result.final_m == 2  # 2x2 mesh -> one surviving 1x2 row
+    assert result.recovered and result.oracle_ok
+
+
+# ----------------------------------------------------------------------
+# run_resilient (the raw entry point) and metrics
+# ----------------------------------------------------------------------
+def test_run_resilient_raw_entry_point(impl, matrix) -> None:
+    from repro.algorithms.transitive_closure import make_inputs
+
+    inputs = make_inputs(matrix, impl.semiring)
+    result = run_resilient(
+        impl.dg, impl.gg, impl.plan, list(impl.order), inputs,
+        semiring=impl.semiring, record_metrics=False,
+    )
+    assert result.oracle_ok
+    assert result.total_cycles == result.healthy_cycles
+
+
+def test_metrics_are_recorded(impl, matrix) -> None:
+    from repro.obs.metrics import get_registry
+
+    reg = get_registry()
+    design = {"design": "runtime-metrics-test"}
+    injected = reg.counter("repro_fault_injected_total")
+    detected = reg.counter("repro_fault_detected_total")
+    recovered = reg.counter("repro_fault_recovered_total")
+    before = (
+        injected.value(kind="transient", **design),
+        detected.value(**design),
+        recovered.value(**design),
+    )
+
+    node = next(
+        nid for nid in impl.dg.topological_order()
+        if impl.dg.kind(nid).occupies_slot
+    )
+    spec = FaultSpec(kind=FaultKind.TRANSIENT, node=node)
+    run(
+        impl, matrix, faults=[spec], record_metrics=True,
+        description="runtime-metrics-test",
+    )
+
+    assert injected.value(kind="transient", **design) == before[0] + 1
+    assert detected.value(**design) == before[1] + 1
+    assert recovered.value(**design) == before[2] + 1
+    assert reg.gauge("repro_fault_degraded_throughput").value(**design) < 1
+
+
+def test_recovery_trace_events_are_schema_valid(impl, matrix) -> None:
+    from repro.resilience import timeline_chrome_events
+    from repro.resilience.report import RESILIENCE_PID
+
+    spec = FaultSpec(kind=FaultKind.PERMANENT, cell=0, onset=0)
+    result = run(impl, matrix, faults=[spec])
+    events = timeline_chrome_events(result)
+    assert any(e["ph"] == "M" for e in events)
+    xs = [e for e in events if e["ph"] == "X"]
+    assert xs and all(e["dur"] >= 1 and e["pid"] == RESILIENCE_PID for e in xs)
+    cats = {e["cat"] for e in xs}
+    assert "resilience.repartition" in cats and "resilience.gset" in cats
+    marks = [e for e in events if e["ph"] == "i"]
+    assert len(marks) == len(result.detections)

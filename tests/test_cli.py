@@ -109,6 +109,36 @@ def test_partition_trace_out_requires_simulate() -> None:
                  "--trace-out", "x.json"]) == 2
 
 
+def test_faults_single_config(capsys) -> None:
+    out = run_cli(capsys, "faults", "--config", "linear-n9-m3",
+                  "--kinds", "transient")
+    assert "fault campaign (seed 0)" in out
+    assert "1/1 runs ok" in out
+
+
+def test_faults_json_report_and_trace(capsys, tmp_path) -> None:
+    import json
+
+    report = tmp_path / "faults.json"
+    trace = tmp_path / "rec.json"
+    out = run_cli(capsys, "faults", "--config", "linear-n9-m3",
+                  "--kinds", "permanent", "--format", "json",
+                  "--out", str(report), "--trace-out", str(trace))
+    assert "1/1 runs ok" in out
+    doc = json.loads(report.read_text())
+    assert doc["ok"] is True
+    assert doc["runs"][0]["repartitions"] == 1
+    events = json.loads(trace.read_text())["traceEvents"]
+    assert any(e["ph"] == "X" and e["cat"] == "resilience.repartition"
+               for e in events)
+
+
+def test_faults_usage_errors() -> None:
+    assert main(["faults", "--experiments", "--config", "x"]) == 2
+    assert main(["faults", "--config", "nope"]) == 2
+    assert main(["faults", "--kinds", "bogus"]) == 2
+
+
 def test_parser_requires_command() -> None:
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
