@@ -3,9 +3,13 @@
 T = m/(n^2(n+1)) and U = (n-1)(n-2)/(n(n+1)) exactly when m | n+1; zero
 stalls; m+1 memory ports; the computed matrix equals the software
 closure.  Builder: :func:`repro.experiments.arrays.linear_sweep`.
+
+The companion ``F18-VEC`` table times the same design at n=24 on both
+simulator backends: the compiled vector replay must be at least 5x
+faster than the reference interpreter while staying bit-identical.
 """
 
-from repro.experiments.arrays import linear_sweep
+from repro.experiments.arrays import backend_timing, linear_sweep
 from repro.viz import format_table
 
 from _common import save_table
@@ -27,5 +31,23 @@ def test_fig18_linear_partitioned(benchmark):
         perf_metrics={
             "stall_cycles_total": sum(r["stalls"] for r in rows),
             "violations_total": sum(r["violations"] for r in rows),
+        },
+    )
+
+
+def test_fig18_vector_backend_speedup():
+    rows = backend_timing(configs=((24, 4, "linear"),))
+    r = rows[0]
+    assert r["identical"], "vector replay diverged from the reference"
+    assert r["speedup"] >= 5.0, rows
+    save_table(
+        "F18-VEC",
+        "linear array at n=24: reference interpreter vs vector replay",
+        format_table(rows), rows=rows, n=24, m=4,
+        perf_metrics={
+            "wall_reference_sim_s": r["wall_reference_s"],
+            "wall_vector_replay_s": r["wall_vector_s"],
+            "wall_vector_compile_s": r["wall_compile_s"],
+            "wall_speedup_factor": r["speedup"],
         },
     )

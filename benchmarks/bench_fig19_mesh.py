@@ -3,9 +3,13 @@
 Same throughput class as the linear array (the triangular boundary sets
 of Fig. 19a cost 7-13%), 2*sqrt(m) memory connections, zero stalls,
 correct closures.  Builder: :func:`repro.experiments.arrays.mesh_sweep`.
+
+The companion ``F19-VEC`` table times a 4x4 mesh at n=24 on both
+simulator backends: the compiled vector replay must be at least 5x
+faster than the reference interpreter while staying bit-identical.
 """
 
-from repro.experiments.arrays import mesh_sweep
+from repro.experiments.arrays import backend_timing, mesh_sweep
 from repro.viz import format_table
 
 from _common import save_table
@@ -21,3 +25,21 @@ def test_fig19_mesh_partitioned(benchmark):
         assert 0.6 < r["T_ratio"] <= 1.0
         assert r["boundary_sets"] > 0  # Fig. 19a's triangular sets exist
     save_table("F19", "2-D partitioned array: measured vs Sec. 4.2", format_table(rows))
+
+
+def test_fig19_vector_backend_speedup():
+    rows = backend_timing(configs=((24, 16, "mesh"),))
+    r = rows[0]
+    assert r["identical"], "vector replay diverged from the reference"
+    assert r["speedup"] >= 5.0, rows
+    save_table(
+        "F19-VEC",
+        "4x4 mesh at n=24: reference interpreter vs vector replay",
+        format_table(rows), rows=rows, n=24, m=16,
+        perf_metrics={
+            "wall_reference_sim_s": r["wall_reference_s"],
+            "wall_vector_replay_s": r["wall_vector_s"],
+            "wall_vector_compile_s": r["wall_compile_s"],
+            "wall_speedup_factor": r["speedup"],
+        },
+    )

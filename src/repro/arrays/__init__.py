@@ -1,1 +1,30 @@
-"""Systolic-array models: topologies, execution plans, cycle simulator."""
+"""Systolic-array models: topologies, execution plans, cycle simulator.
+
+Two simulator backends share one contract (see ``docs/simulator.md``):
+
+* ``repro.arrays.cycle_sim.simulate`` — the reference per-cycle
+  interpreter, and the only backend that drives probes and injectors;
+* ``repro.arrays.vector_sim.simulate_vector`` — compiles the plan once
+  (:mod:`repro.arrays.vector_compile`) and replays it as batched NumPy
+  semiring steps, bit-identical to the reference.
+"""
+
+from .vector_sim import (
+    BACKENDS,
+    default_backend,
+    dispatch_simulate,
+    get_backend,
+    resolve_backend,
+    set_default_backend,
+    simulate_vector,
+)
+
+__all__ = [
+    "BACKENDS",
+    "default_backend",
+    "dispatch_simulate",
+    "get_backend",
+    "resolve_backend",
+    "set_default_backend",
+    "simulate_vector",
+]

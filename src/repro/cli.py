@@ -10,8 +10,10 @@ Examples::
     python -m repro fixed --n 9
     python -m repro lint --n 12 --m 4
     python -m repro lint --experiments --format sarif --out lint.sarif
-    python -m repro faults --seed 0 --experiments
+    python -m repro faults --seed 0 --experiments --jobs 2
     python -m repro trace --n 12 --m 4 --trace-out t.json
+    python -m repro bench F18 F19 --backend vector --jobs 2
+    python -m repro partition --n 12 --m 4 --simulate --backend vector
     python -m repro stats --n 12 --m 4
     python -m repro perfcheck --baseline benchmarks/perf_baseline.json \\
         --current benchmarks/out/history.jsonl
@@ -51,6 +53,9 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--simulate", action="store_true",
                    help="cycle-simulate on a random instance and verify")
     s.add_argument("--seed", type=int, default=0)
+    s.add_argument("--backend", choices=("reference", "vector"), default=None,
+                   help="simulator backend (default: REPRO_SIM_BACKEND or "
+                        "reference; see docs/simulator.md)")
     s.add_argument("--trace-out", metavar="FILE", default=None,
                    help="with --simulate: write a Chrome trace JSON of the "
                         "pipeline stages and the simulated cycles")
@@ -117,6 +122,13 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--trace-out", metavar="FILE", default=None,
                    help="write a Chrome trace JSON of the recovery timelines "
                         "(one process lane per run; open in Perfetto)")
+    s.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="worker processes, one campaign configuration each "
+                        "(results and metrics identical to --jobs 1)")
+    s.add_argument("--backend", choices=("reference", "vector"), default=None,
+                   help="simulator backend for fault-free attempts "
+                        "(faulty attempts always use the reference "
+                        "interpreter's injection seam)")
 
     s = sub.add_parser(
         "reproduce",
@@ -136,7 +148,25 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--policy", default="vertical")
     s.add_argument("--packed", action="store_true")
     s.add_argument("--seed", type=int, default=0)
+    s.add_argument("--backend", choices=("reference", "vector"), default=None,
+                   help="simulator backend; tracing installs a probe, so "
+                        "the vector backend falls back to the reference "
+                        "interpreter for the traced run itself")
     s.add_argument("--trace-out", metavar="FILE", default="trace.json")
+
+    s = sub.add_parser(
+        "bench",
+        help="build experiment tables through the parallel runner "
+             "(optionally on the vector simulator backend)",
+    )
+    s.add_argument("exp", nargs="*",
+                   help="experiment ids (e.g. F18 F19); default: all")
+    s.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="worker processes, one experiment each; results "
+                        "come back in id order regardless of completion")
+    s.add_argument("--backend", choices=("reference", "vector"), default=None,
+                   help="simulator backend for the runs (rows are "
+                        "bit-identical across backends)")
 
     s = sub.add_parser(
         "stats",
@@ -196,6 +226,20 @@ def build_parser() -> argparse.ArgumentParser:
     return p
 
 
+def _write_text(path, text: str) -> None:
+    """Write a CLI artefact, creating parent directories as needed.
+
+    Every ``--out``/``--trace-out``-style writer goes through here so
+    ``repro lint --out reports/lint.sarif`` works without a prior
+    ``mkdir``.
+    """
+    from pathlib import Path
+
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    p.write_text(text)
+
+
 def _cmd_stages(args) -> int:
     from .algorithms.transitive_closure import TC_STAGES
     from .viz import render_stage_table
@@ -212,7 +256,7 @@ def _run_traced_pipeline(args):
     """
     from .algorithms.transitive_closure import make_inputs
     from .algorithms.warshall import random_adjacency, warshall
-    from .arrays.cycle_sim import simulate
+    from .arrays.vector_sim import dispatch_simulate
     from .core.partitioner import partition_transitive_closure
     from .obs import (
         RecordingProbe,
@@ -229,8 +273,12 @@ def _run_traced_pipeline(args):
         )
         probe = RecordingProbe()
         a = random_adjacency(args.n, seed=args.seed)
-        res = simulate(
-            impl.exec_plan, impl.dg, make_inputs(a), probe=probe
+        # A probe forces the reference interpreter (dispatch falls back
+        # even under --backend vector), so the sim.simulate span and the
+        # cycle-level events are always present in the trace.
+        res = dispatch_simulate(
+            impl.exec_plan, impl.dg, make_inputs(a), probe=probe,
+            backend=getattr(args, "backend", None),
         )
         ok = bool(np.array_equal(res.output_matrix(args.n), warshall(a)))
     finally:
@@ -267,7 +315,7 @@ def _cmd_partition(args) -> int:
         print(f"  {key:>12}: {value}")
     if args.simulate:
         a = random_adjacency(args.n, seed=args.seed)
-        res = impl.simulate(a)
+        res = impl.simulate(a, backend=args.backend)
         ok = bool(np.array_equal(res.output_matrix(args.n), warshall(a)))
         print(f"simulation: makespan={res.makespan} violations="
               f"{len(res.violations)} correct={ok}")
@@ -343,7 +391,6 @@ def _cmd_fixed(args) -> int:
 
 def _cmd_lint(args) -> int:
     import json
-    from pathlib import Path
 
     from .lint import (
         SCHEMA_VERSION,
@@ -407,7 +454,7 @@ def _cmd_lint(args) -> int:
         body = json.dumps(doc, indent=2, sort_keys=True)
 
     if args.out:
-        Path(args.out).write_text(body + "\n")
+        _write_text(args.out, body + "\n")
         print(f"lint: wrote {args.format} report to {args.out} ({summary})")
     else:
         print(body)
@@ -416,7 +463,6 @@ def _cmd_lint(args) -> int:
 
 def _cmd_faults(args) -> int:
     import json
-    from pathlib import Path
 
     from .resilience import (
         FaultKind,
@@ -446,7 +492,10 @@ def _cmd_faults(args) -> int:
                   + ", ".join(k.value for k in FaultKind), file=sys.stderr)
             return 2
 
-    result = run_campaign(seed=args.seed, configs=configs, kinds=kinds)
+    result = run_campaign(
+        seed=args.seed, configs=configs, kinds=kinds,
+        jobs=args.jobs, backend=args.backend,
+    )
 
     if args.trace_out:
         events = []
@@ -454,8 +503,8 @@ def _cmd_faults(args) -> int:
             for ev in timeline_chrome_events(run.result):
                 ev["pid"] = RESILIENCE_PID + i  # one process lane per run
                 events.append(ev)
-        Path(args.trace_out).write_text(
-            json.dumps({"traceEvents": events}, indent=2) + "\n"
+        _write_text(
+            args.trace_out, json.dumps({"traceEvents": events}, indent=2) + "\n"
         )
         print(f"faults: wrote {len(events)} trace events to {args.trace_out} "
               "-- open in https://ui.perfetto.dev")
@@ -466,7 +515,7 @@ def _cmd_faults(args) -> int:
         body = result.to_text()
     if args.out:
         good = sum(1 for r in result.runs if r.ok)
-        Path(args.out).write_text(body + "\n")
+        _write_text(args.out, body + "\n")
         print(f"faults: wrote {args.format} report to {args.out} "
               f"({good}/{len(result.runs)} runs ok)")
     else:
@@ -491,6 +540,27 @@ def _cmd_reproduce(args) -> int:
         exp = EXPERIMENTS[eid]
         print(f"== {exp.exp_id}: {exp.title} ==")
         print(format_table(exp.run()))
+        print()
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from .experiments import EXPERIMENTS
+    from .experiments.runner import run_experiments
+    from .viz import format_table
+
+    exp_ids = list(args.exp) if args.exp else list(EXPERIMENTS)
+    try:
+        results = run_experiments(
+            exp_ids, jobs=args.jobs, backend=args.backend
+        )
+    except KeyError as exc:
+        print(f"bench: {exc.args[0]}", file=sys.stderr)
+        return 2
+    for eid, rows in results:
+        exp = EXPERIMENTS[eid]
+        print(f"== {exp.exp_id}: {exp.title} ==")
+        print(format_table(rows))
         print()
     return 0
 
@@ -575,25 +645,26 @@ def _cmd_stats(args) -> int:
 
 def _cmd_perfcheck(args) -> int:
     import json
-    from pathlib import Path
 
     from .obs import perf
 
+    skipped: list[tuple[int, str]] = []
     try:
-        current = perf.load_records(args.current)
+        current = perf.load_records(args.current, skipped=skipped)
     except (OSError, ValueError, KeyError) as exc:
         print(f"perfcheck: cannot read --current: {exc}", file=sys.stderr)
         return 2
     if args.update_baseline:
         doc = {"version": perf.SCHEMA_VERSION, "experiments": current}
-        Path(args.baseline).write_text(
-            json.dumps(doc, indent=2, sort_keys=True, default=repr) + "\n"
+        _write_text(
+            args.baseline,
+            json.dumps(doc, indent=2, sort_keys=True, default=repr) + "\n",
         )
         print(f"perfcheck: baseline {args.baseline} updated "
               f"({len(current)} experiment(s))")
         return 0
     try:
-        baseline = perf.load_records(args.baseline)
+        baseline = perf.load_records(args.baseline, skipped=skipped)
     except (OSError, ValueError, KeyError) as exc:
         print(f"perfcheck: cannot read --baseline: {exc}", file=sys.stderr)
         return 2
@@ -617,7 +688,10 @@ def _cmd_perfcheck(args) -> int:
     except ValueError as exc:
         print(f"perfcheck: {exc}", file=sys.stderr)
         return 2
-    print(perf.format_report(baseline, current, regressions, classes))
+    print(perf.format_report(
+        baseline, current, regressions, classes,
+        skipped_lines=len(skipped),
+    ))
     return 1 if regressions else 0
 
 
@@ -639,7 +713,7 @@ def _cmd_dashboard(args) -> int:
         n=args.n, m=args.m, geometry=args.geometry, policy=args.policy,
         seed=args.seed, sizes=sizes, history_path=history,
     )
-    Path(args.out).write_text(html)
+    _write_text(args.out, html)
     print(f"dashboard: {args.out} ({len(html):,} bytes"
           + (f", history from {history}" if history else ", no history")
           + ")")
@@ -656,6 +730,7 @@ _COMMANDS = {
     "lint": _cmd_lint,
     "faults": _cmd_faults,
     "reproduce": _cmd_reproduce,
+    "bench": _cmd_bench,
     "trace": _cmd_trace,
     "stats": _cmd_stats,
     "perfcheck": _cmd_perfcheck,

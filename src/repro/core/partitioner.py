@@ -74,28 +74,35 @@ class PartitionedImplementation:
                 sp.tag("stall_cycles", self._exec_plan.stall_cycles)
         return self._exec_plan
 
-    def run(self, a: np.ndarray, strict: bool = True) -> np.ndarray:
+    def run(
+        self, a: np.ndarray, strict: bool = True, backend: str | None = None
+    ) -> np.ndarray:
         """Cycle-simulate the implementation on an input matrix.
 
         Only available for graphs using the transitive-closure I/O naming
         (``("in", i, j)`` / ``("out", i, j)``); raises on violations when
-        ``strict``.
+        ``strict``.  ``backend`` selects the simulator engine
+        (``"reference"`` / ``"vector"``; ``None`` uses the process-wide
+        default — see :mod:`repro.arrays.vector_sim`).
         """
-        from ..arrays.cycle_sim import simulate
+        from ..arrays.vector_sim import dispatch_simulate
 
         n = a.shape[0]
-        res = simulate(
+        res = dispatch_simulate(
             self.exec_plan, self.dg, tc.make_inputs(a, self.semiring), self.semiring,
-            strict=strict,
+            strict=strict, backend=backend,
         )
         return res.output_matrix(n, self.semiring)
 
-    def simulate(self, a: np.ndarray) -> "SimResult":
+    def simulate(
+        self, a: np.ndarray, backend: str | None = None
+    ) -> "SimResult":
         """Full cycle simulation; returns the raw :class:`SimResult`."""
-        from ..arrays.cycle_sim import simulate
+        from ..arrays.vector_sim import dispatch_simulate
 
-        return simulate(
-            self.exec_plan, self.dg, tc.make_inputs(a, self.semiring), self.semiring
+        return dispatch_simulate(
+            self.exec_plan, self.dg, tc.make_inputs(a, self.semiring), self.semiring,
+            backend=backend,
         )
 
 

@@ -80,6 +80,7 @@ def verify_implementation(
     seed: int = 0,
     extra_inputs: list[np.ndarray] | None = None,
     preflight: bool = True,
+    backend: str | None = None,
 ) -> VerificationReport:
     """Sweep random inputs through the implementation and check everything.
 
@@ -100,6 +101,11 @@ def verify_implementation(
         ``lint`` field.  Unlike the partitioner's ``preflight=True``
         this never raises — the point of verification is to gather all
         the evidence, static and dynamic, side by side.
+    backend:
+        Simulator backend for every trial (``"reference"`` /
+        ``"vector"``; ``None`` uses the process default).  With the
+        vector backend the plan is compiled once and every trial is a
+        cached replay — see :mod:`repro.arrays.vector_compile`.
     """
     rng = np.random.default_rng(seed)
     n = len({nid[1] for nid in impl.dg.inputs})
@@ -127,7 +133,7 @@ def verify_implementation(
     max_mem = 0
     mismatches: list[str] = []
     for idx, a in enumerate(inputs):
-        res = impl.simulate(a)
+        res = impl.simulate(a, backend=backend)
         if res.violations:
             violation_trials += 1
         max_mem = max(max_mem, res.memory_words)

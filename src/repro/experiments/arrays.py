@@ -1,7 +1,14 @@
-"""Experiments F17-F21: the derived arrays, measured by simulation."""
+"""Experiments F17-F21: the derived arrays, measured by simulation.
+
+Simulations go through :func:`repro.arrays.vector_sim.dispatch_simulate`,
+so the process-wide backend default applies — ``repro bench --backend
+vector`` (or ``REPRO_SIM_BACKEND=vector``) runs these sweeps on the
+compiled batched backend with bit-identical rows.
+"""
 
 from __future__ import annotations
 
+import time
 from fractions import Fraction
 
 import numpy as np
@@ -23,7 +30,6 @@ from ..core.metrics import (
     tc_mesh_throughput,
     tc_utilization,
 )
-from ..arrays.cycle_sim import simulate
 from ..arrays.host import simulate_rblock_chain
 from ..arrays.plan import (
     fixed_array_plan,
@@ -31,6 +37,7 @@ from ..arrays.plan import (
     min_initiation_interval,
     partitioned_plan,
 )
+from ..arrays.vector_sim import dispatch_simulate as simulate
 
 __all__ = [
     "fixed_array_census",
@@ -38,6 +45,7 @@ __all__ = [
     "mesh_sweep",
     "schedule_census",
     "io_census",
+    "backend_timing",
 ]
 
 
@@ -155,6 +163,73 @@ def schedule_census(n: int = 12, m: int = 4) -> list[dict]:
                 "stalls": ep.stall_cycles,
                 "violations": len(res.violations),
                 "first_sets": " ".join(str(s.sid) for s in order[:4]),
+            }
+        )
+    return rows
+
+
+def backend_timing(
+    configs=((24, 4, "linear"), (24, 16, "mesh")), replays: int = 3
+) -> list[dict]:
+    """A-VEC: reference-vs-vector wall time at paper-exceeding sizes.
+
+    Builds each partitioned plan once, runs ``replays`` simulations on
+    the reference interpreter and on the vector backend (one untimed
+    warm-up replay pays the compile, after which every run is a cached
+    replay — the deployment profile of ``verify_implementation`` and
+    the campaigns), and reports the per-run wall times, the one-off
+    compile cost, and a bit-identity check of the closure.
+    """
+    from ..arrays.cycle_sim import simulate as reference_simulate
+    from ..arrays.vector_sim import simulate_vector
+    from ..arrays.vector_compile import get_compiled
+    from ..core.semiring import BOOLEAN
+
+    rows = []
+    for n, m, geometry in configs:
+        dg = tc_regular(n)
+        gg = GGraph(dg, group_by_columns)
+        if geometry == "linear":
+            plan = make_linear_gsets(gg, m, aligned=True)
+        else:
+            plan = make_mesh_gsets(gg, m)
+        order = schedule_gsets(plan, "vertical")
+        ep = partitioned_plan(plan, order)
+        a = random_adjacency(n, 0.35, seed=n + m)
+        inputs = make_inputs(a)
+
+        t0 = time.perf_counter()
+        compiled = get_compiled(ep, dg, BOOLEAN)
+        wall_compile = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        for _ in range(replays):
+            ref = reference_simulate(ep, dg, inputs)
+        wall_ref = (time.perf_counter() - t0) / replays
+
+        simulate_vector(ep, dg, inputs)  # warm-up: cache is hot after this
+        t0 = time.perf_counter()
+        for _ in range(replays):
+            vec = simulate_vector(ep, dg, inputs)
+        wall_vec = (time.perf_counter() - t0) / replays
+
+        rows.append(
+            {
+                "n": n,
+                "m": m,
+                "geometry": geometry,
+                "fires": len(ep.fires),
+                "steps": len(compiled.steps),
+                "wall_reference_s": round(wall_ref, 6),
+                "wall_vector_s": round(wall_vec, 6),
+                "wall_compile_s": round(wall_compile, 6),
+                "speedup": round(wall_ref / wall_vec, 2) if wall_vec else 0.0,
+                "identical": bool(
+                    np.array_equal(ref.output_matrix(n), vec.output_matrix(n))
+                    and ref.makespan == vec.makespan
+                    and ref.memory_words == vec.memory_words
+                    and ref.violations == vec.violations
+                ),
             }
         )
     return rows

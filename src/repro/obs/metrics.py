@@ -315,6 +315,57 @@ class MetricsRegistry:
         """Plain-dict snapshot (json.dumps-able as is)."""
         return {name: m.to_json() for name, m in sorted(self._metrics.items())}
 
+    def merge_json(self, snapshot: Mapping[str, Any]) -> None:
+        """Fold a :meth:`to_json` snapshot into this registry.
+
+        The parallel runners (``run_campaign(jobs=...)``, ``repro
+        bench --jobs``) give each worker process a fresh registry and
+        ship its snapshot back; the parent merges them here so the
+        process-wide registry sees the same series a sequential run
+        would.  Counters add, gauges take the incoming value (last
+        writer wins, matching sequential ``set`` semantics), histograms
+        add their bucket counts and sums.  Label values arrive already
+        stringified (that is how ``to_json`` renders them).
+        """
+        for name, doc in snapshot.items():
+            mtype = doc.get("type")
+            if mtype == "counter":
+                c = self.counter(name, doc.get("help", ""))
+                for s in doc["series"]:
+                    # inc(0) still materialises the series, matching the
+                    # zero-valued series a sequential run records.
+                    c.inc(s["value"], **s["labels"])
+            elif mtype == "gauge":
+                g = self.gauge(name, doc.get("help", ""))
+                for s in doc["series"]:
+                    g.set(s["value"], **s["labels"])
+            elif mtype == "histogram":
+                buckets = tuple(doc["buckets"])
+                h = self.histogram(name, doc.get("help", ""), buckets=buckets)
+                if h.buckets != tuple(sorted(buckets)):
+                    raise ValueError(
+                        f"histogram {name!r}: bucket mismatch on merge"
+                    )
+                for s in doc["series"]:
+                    key = _label_key(s["labels"])
+                    with h._lock:
+                        state = h._series.get(key)
+                        if state is None:
+                            state = {
+                                "counts": [0] * len(h.buckets),
+                                "sum": 0.0,
+                                "count": 0,
+                            }
+                            h._series[key] = state
+                        for i, c_in in enumerate(s["counts"]):
+                            state["counts"][i] += c_in
+                        state["sum"] += s["sum"]
+                        state["count"] += s["count"]
+            else:
+                raise ValueError(
+                    f"cannot merge metric {name!r} of type {mtype!r}"
+                )
+
     def dump_json(self, indent: int | None = 2) -> str:
         return json.dumps(self.to_json(), indent=indent, sort_keys=True)
 

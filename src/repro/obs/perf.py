@@ -27,6 +27,7 @@ from __future__ import annotations
 import json
 import subprocess
 import time
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Iterable, Mapping, Sequence
@@ -35,6 +36,7 @@ __all__ = [
     "SCHEMA_VERSION",
     "DEFAULT_THRESHOLDS",
     "METRIC_CLASSES",
+    "PerfHistoryWarning",
     "Regression",
     "classify_metric",
     "current_commit",
@@ -47,8 +49,13 @@ __all__ = [
     "write_trajectory",
     "make_baseline",
     "compare",
+    "find_new_metrics",
     "format_report",
 ]
+
+
+class PerfHistoryWarning(UserWarning):
+    """A perf artefact contained lines/records that had to be skipped."""
 
 #: Schema version stamped into every JSON artefact this subsystem writes
 #: (history records, ``BENCH_PERF.json``, baselines, ``<exp_id>.json``).
@@ -149,24 +156,64 @@ def append_history(path: str | Path, record: Mapping) -> None:
         fh.write(json.dumps(record, sort_keys=True, default=repr) + "\n")
 
 
-def load_history(path: str | Path) -> list[dict]:
-    """Read a JSONL history file; missing file -> empty history."""
+def load_history(
+    path: str | Path, skipped: list[tuple[int, str]] | None = None
+) -> list[dict]:
+    """Read a JSONL history file; missing file -> empty history.
+
+    A history file is append-only and written by many harness runs, so a
+    killed run can leave a truncated final line and a bad merge can leave
+    garbage mid-file.  Corrupt lines (invalid JSON, or JSON that is not
+    an object) are *skipped*, each with a :class:`PerfHistoryWarning`
+    naming the file and line; pass a ``skipped`` list to collect
+    ``(lineno, reason)`` pairs — ``perfcheck`` counts them in its report.
+    """
     path = Path(path)
     if not path.exists():
         return []
     records = []
-    for line in path.read_text().splitlines():
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
         line = line.strip()
-        if line:
-            records.append(json.loads(line))
+        if not line:
+            continue
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError as exc:
+            reason = f"invalid JSON ({exc.msg})"
+            rec = None
+        else:
+            reason = "" if isinstance(rec, dict) else "not a record object"
+        if rec is None or reason:
+            warnings.warn(
+                f"{path}:{lineno}: skipping corrupt history line: {reason}",
+                PerfHistoryWarning,
+                stacklevel=2,
+            )
+            if skipped is not None:
+                skipped.append((lineno, reason))
+            continue
+        records.append(rec)
     return records
 
 
 def latest_by_exp(records: Iterable[Mapping]) -> dict[str, dict]:
-    """Last record per experiment id (records assumed chronological)."""
+    """Last record per experiment id (records assumed chronological).
+
+    Records without an ``exp_id`` (hand-edited or foreign artefacts)
+    cannot be keyed, so they are skipped with a warning rather than
+    aborting the whole comparison.
+    """
     latest: dict[str, dict] = {}
     for rec in records:
-        latest[rec["exp_id"]] = dict(rec)
+        exp_id = rec.get("exp_id")
+        if not exp_id:
+            warnings.warn(
+                "skipping perf record without exp_id",
+                PerfHistoryWarning,
+                stacklevel=2,
+            )
+            continue
+        latest[exp_id] = dict(rec)
     return latest
 
 
@@ -174,6 +221,8 @@ def rollup(records: Sequence[Mapping], keep: int = TRAJECTORY_KEEP) -> dict:
     """The ``BENCH_PERF.json`` trajectory: last ``keep`` runs per exp."""
     by_exp: dict[str, list[dict]] = {}
     for rec in records:
+        if not rec.get("exp_id"):
+            continue  # unkeyable record; latest_by_exp already warned
         by_exp.setdefault(rec["exp_id"], []).append(
             {
                 "ts": rec.get("ts"),
@@ -209,17 +258,20 @@ def make_baseline(records: Iterable[Mapping]) -> dict:
     }
 
 
-def load_records(path: str | Path) -> dict[str, dict]:
+def load_records(
+    path: str | Path, skipped: list[tuple[int, str]] | None = None
+) -> dict[str, dict]:
     """Latest record per exp from *any* perf artefact.
 
     Sniffs the format: ``.jsonl`` history, a baseline document
     (``{"experiments": {exp: record}}``), a trajectory roll-up
     (``{"experiments": {exp: {"runs": [...]}}}``), a JSON list of
-    records, or a single record.
+    records, or a single record.  For JSONL histories, corrupt lines are
+    skipped (see :func:`load_history`); ``skipped`` collects them.
     """
     path = Path(path)
     if path.suffix == ".jsonl":
-        return latest_by_exp(load_history(path))
+        return latest_by_exp(load_history(path, skipped=skipped))
     doc = json.loads(path.read_text())
     if isinstance(doc, list):
         return latest_by_exp(doc)
@@ -318,11 +370,34 @@ def compare(
     return regressions
 
 
+def find_new_metrics(
+    baseline: Mapping[str, Mapping],
+    current: Mapping[str, Mapping],
+) -> list[tuple[str, str, str]]:
+    """Current-only metrics on shared experiments, as explicit findings.
+
+    A metric present in ``current`` but absent from the baseline is not
+    a regression (there is nothing to compare against) but it must not
+    vanish silently either — it is exactly the state a freshly added
+    benchmark metric is in until the baseline is regenerated.  Returns
+    ``(exp_id, metric, metric_class)`` triples; :func:`format_report`
+    renders them and the CLI keeps them non-gating.
+    """
+    findings: list[tuple[str, str, str]] = []
+    for exp_id in sorted(set(baseline) & set(current)):
+        base_m = baseline[exp_id].get("metrics", {})
+        cur_m = current[exp_id].get("metrics", {})
+        for name in sorted(set(cur_m) - set(base_m)):
+            findings.append((exp_id, name, classify_metric(name)))
+    return findings
+
+
 def format_report(
     baseline: Mapping[str, Mapping],
     current: Mapping[str, Mapping],
     regressions: Sequence[Regression],
     classes: Sequence[str] | None = None,
+    skipped_lines: int = 0,
 ) -> str:
     """Human-readable perfcheck summary (what the CLI prints)."""
     shared = sorted(set(baseline) & set(current))
@@ -343,6 +418,15 @@ def format_report(
         lines.append(f"  (baseline-only, skipped: {', '.join(only_base)})")
     if only_cur:
         lines.append(f"  (current-only, skipped: {', '.join(only_cur)})")
+    for exp_id, metric, cls in find_new_metrics(baseline, current):
+        lines.append(
+            f"NEW METRIC {exp_id}.{metric} [{cls}]: no baseline yet, "
+            "not gated (refresh with --update-baseline)"
+        )
+    if skipped_lines:
+        lines.append(
+            f"perfcheck: skipped {skipped_lines} corrupt history line(s)"
+        )
     for r in regressions:
         lines.append(str(r))
     lines.append(

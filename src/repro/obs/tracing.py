@@ -23,6 +23,7 @@ import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from fractions import Fraction
+from pathlib import Path
 from typing import Any, Iterator
 
 __all__ = [
@@ -189,9 +190,15 @@ class Tracer:
         return {"traceEvents": events, "displayTimeUnit": "ms"}
 
     def write_chrome(self, path) -> int:
-        """Write the Chrome trace JSON to ``path``; returns event count."""
+        """Write the Chrome trace JSON to ``path``; returns event count.
+
+        Parent directories are created as needed, so ``--trace-out
+        runs/today/t.json`` works without a prior ``mkdir``.
+        """
         doc = self.to_chrome()
-        with open(path, "w") as fh:
+        p = Path(path)
+        p.parent.mkdir(parents=True, exist_ok=True)
+        with p.open("w") as fh:
             json.dump(doc, fh)
         return len(doc["traceEvents"])
 

@@ -10,6 +10,7 @@ plan -> Sec. 4.1 report, for either target geometry.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Mapping
 
 from ..core.ggraph import GGraph
 from ..core.gsets import (
@@ -21,8 +22,13 @@ from ..core.gsets import (
     verify_schedule,
 )
 from ..core.metrics import PerformanceReport, evaluate_schedule
+from ..core.semiring import BOOLEAN, Semiring
 from ..arrays.plan import ExecutionPlan, partitioned_plan
 from ..obs.tracing import stage_span
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..arrays.cycle_sim import SimResult
+    from ..core.graph import NodeId
 
 __all__ = ["CutAndPile", "cut_and_pile"]
 
@@ -36,6 +42,27 @@ class CutAndPile:
     order: list[GSet]
     exec_plan: ExecutionPlan
     report: PerformanceReport
+
+    def simulate(
+        self,
+        inputs: "Mapping[NodeId, Any]",
+        semiring: Semiring = BOOLEAN,
+        strict: bool = False,
+        backend: str | None = None,
+    ) -> "SimResult":
+        """Cycle-simulate the mapping on explicit input values.
+
+        ``backend`` selects the simulator engine (``"reference"`` /
+        ``"vector"``; ``None`` uses the process default).  The vector
+        backend compiles this mapping once and replays it from the
+        process-wide cache on subsequent calls.
+        """
+        from ..arrays.vector_sim import dispatch_simulate
+
+        return dispatch_simulate(
+            self.exec_plan, self.gg.dg, inputs, semiring,
+            strict=strict, backend=backend,
+        )
 
 
 def cut_and_pile(

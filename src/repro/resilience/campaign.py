@@ -301,12 +301,122 @@ class CampaignResult:
         return "\n".join(lines)
 
 
+def _config_runs(
+    seed: int,
+    config: CampaignConfig,
+    kinds: Sequence[FaultKind],
+    policy: RecoveryPolicy,
+    record_metrics: bool,
+    backend: "str | None",
+) -> list[CampaignRun]:
+    """All campaign cells of one configuration (one design build)."""
+    design = build_design(config)
+    a = seeded_matrix(
+        config.n, random.Random(f"{seed}:{config.name}:matrix")
+    )
+    inputs = tc.make_inputs(a, design.semiring)
+    runs: list[CampaignRun] = []
+    for kind in kinds:
+        rng = random.Random(f"{seed}:{config.name}:{kind.value}")
+        spec = plan_fault(design, kind, rng)
+        error: "str | None" = None
+        result: "RecoveryResult | None" = None
+        try:
+            result = run_resilient(
+                design.dg, design.gg, design.plan, design.order,
+                inputs,
+                semiring=design.semiring,
+                faults=[spec],
+                policy=policy,
+                aligned=config.aligned,
+                record_metrics=record_metrics,
+                description=f"{config.name}:{kind.value}",
+                backend=backend,
+            )
+        except ResilienceError as exc:
+            error = f"{type(exc).__name__}: {exc}"
+        if result is not None:
+            run = CampaignRun(
+                config=config.name,
+                kind=kind.value,
+                fault=spec.describe(),
+                injected=spec.triggered,
+                detected=(
+                    spec.triggered
+                    and result.detected_fault_count
+                    >= len(result.injected)
+                ),
+                recovered=result.recovered,
+                oracle_ok=bool(result.oracle_ok),
+                detections=len(result.detections),
+                retries=result.retries,
+                repartitions=result.repartitions,
+                total_cycles=result.total_cycles,
+                healthy_cycles=result.healthy_cycles,
+                overhead_cycles=result.overhead_cycles,
+                degraded_throughput=result.degraded_throughput,
+                result=result,
+            )
+        else:
+            run = CampaignRun(
+                config=config.name,
+                kind=kind.value,
+                fault=spec.describe(),
+                injected=spec.triggered,
+                detected=False,
+                recovered=False,
+                oracle_ok=False,
+                detections=0,
+                retries=0,
+                repartitions=0,
+                total_cycles=0,
+                healthy_cycles=0,
+                overhead_cycles=0,
+                degraded_throughput=Fraction(0),
+                error=error,
+            )
+        runs.append(run)
+        if record_metrics:
+            get_registry().counter(
+                "repro_fault_campaign_runs_total",
+                "campaign runs by config, kind and verdict",
+            ).inc(config=config.name, kind=kind.value, ok=run.ok)
+    return runs
+
+
+def _campaign_worker(
+    seed: int,
+    config: CampaignConfig,
+    kinds: tuple[FaultKind, ...],
+    policy: RecoveryPolicy,
+    record_metrics: bool,
+    backend: "str | None",
+) -> "tuple[list[CampaignRun], dict[str, Any] | None]":
+    """One worker process: a fresh registry, one config, all kinds.
+
+    Module-level so :class:`~concurrent.futures.ProcessPoolExecutor`
+    can pickle it.  Returns the runs plus the worker registry's JSON
+    snapshot, which the parent merges into its own registry.
+    """
+    from ..obs.metrics import MetricsRegistry, set_registry
+
+    snapshot: "dict[str, Any] | None" = None
+    if record_metrics:
+        set_registry(MetricsRegistry())
+    runs = _config_runs(seed, config, kinds, policy, record_metrics, backend)
+    if record_metrics:
+        snapshot = get_registry().to_json()
+    return runs, snapshot
+
+
 def run_campaign(
     seed: int = 0,
     configs: "Sequence[CampaignConfig | str] | None" = None,
     kinds: "Sequence[FaultKind | str] | None" = None,
     policy: RecoveryPolicy = RecoveryPolicy(),
     record_metrics: bool = True,
+    jobs: "int | None" = None,
+    backend: "str | None" = None,
 ) -> CampaignResult:
     """Run one seeded campaign: every config x every fault kind.
 
@@ -315,6 +425,15 @@ def run_campaign(
     :class:`~repro.resilience.runtime.RecoveryExhausted` (or any
     resilience error) is recorded on the run — the campaign never
     crashes half way — and fails the aggregate verdict.
+
+    ``jobs`` > 1 fans the configurations out over a
+    :class:`~concurrent.futures.ProcessPoolExecutor`.  Results come
+    back in submission order and every worker's metrics snapshot is
+    merged into the parent registry, so the :class:`CampaignResult`
+    (and, with ``record_metrics``, the registry series) is identical to
+    a sequential run's — the seeded RNG streams are keyed by config
+    name, never by worker.  ``backend`` selects the attempt simulator
+    (see :func:`~repro.resilience.runtime.run_resilient`).
     """
     chosen = [
         campaign_config(c) if isinstance(c, str) else c
@@ -325,74 +444,32 @@ def run_campaign(
         for k in (kinds if kinds is not None else tuple(FaultKind))
     ]
     runs: list[CampaignRun] = []
-    for config in chosen:
-        design = build_design(config)
-        a = seeded_matrix(
-            config.n, random.Random(f"{seed}:{config.name}:matrix")
-        )
-        inputs = tc.make_inputs(a, design.semiring)
-        for kind in chosen_kinds:
-            rng = random.Random(f"{seed}:{config.name}:{kind.value}")
-            spec = plan_fault(design, kind, rng)
-            error: "str | None" = None
-            result: "RecoveryResult | None" = None
-            try:
-                result = run_resilient(
-                    design.dg, design.gg, design.plan, design.order,
-                    inputs,
-                    semiring=design.semiring,
-                    faults=[spec],
-                    policy=policy,
-                    aligned=config.aligned,
-                    record_metrics=record_metrics,
-                    description=f"{config.name}:{kind.value}",
+    if jobs is not None and jobs > 1 and len(chosen) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        kinds_t = tuple(chosen_kinds)
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(chosen))
+        ) as pool:
+            futures = [
+                pool.submit(
+                    _campaign_worker, seed, config, kinds_t, policy,
+                    record_metrics, backend,
                 )
-            except ResilienceError as exc:
-                error = f"{type(exc).__name__}: {exc}"
-            if result is not None:
-                run = CampaignRun(
-                    config=config.name,
-                    kind=kind.value,
-                    fault=spec.describe(),
-                    injected=spec.triggered,
-                    detected=(
-                        spec.triggered
-                        and result.detected_fault_count
-                        >= len(result.injected)
-                    ),
-                    recovered=result.recovered,
-                    oracle_ok=bool(result.oracle_ok),
-                    detections=len(result.detections),
-                    retries=result.retries,
-                    repartitions=result.repartitions,
-                    total_cycles=result.total_cycles,
-                    healthy_cycles=result.healthy_cycles,
-                    overhead_cycles=result.overhead_cycles,
-                    degraded_throughput=result.degraded_throughput,
-                    result=result,
+                for config in chosen
+            ]
+            # Deterministic: collect in submission (= config) order.
+            for fut in futures:
+                config_runs, snapshot = fut.result()
+                runs.extend(config_runs)
+                if snapshot is not None:
+                    get_registry().merge_json(snapshot)
+    else:
+        for config in chosen:
+            runs.extend(
+                _config_runs(
+                    seed, config, chosen_kinds, policy, record_metrics,
+                    backend,
                 )
-            else:
-                run = CampaignRun(
-                    config=config.name,
-                    kind=kind.value,
-                    fault=spec.describe(),
-                    injected=spec.triggered,
-                    detected=False,
-                    recovered=False,
-                    oracle_ok=False,
-                    detections=0,
-                    retries=0,
-                    repartitions=0,
-                    total_cycles=0,
-                    healthy_cycles=0,
-                    overhead_cycles=0,
-                    degraded_throughput=Fraction(0),
-                    error=error,
-                )
-            runs.append(run)
-            if record_metrics:
-                get_registry().counter(
-                    "repro_fault_campaign_runs_total",
-                    "campaign runs by config, kind and verdict",
-                ).inc(config=config.name, kind=kind.value, ok=run.ok)
+            )
     return CampaignResult(seed=seed, runs=runs)

@@ -32,7 +32,15 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Any, Hashable, Mapping, Protocol, Sequence, runtime_checkable
+from typing import (
+    Any,
+    Hashable,
+    Iterable,
+    Mapping,
+    Protocol,
+    Sequence,
+    runtime_checkable,
+)
 
 from ..core.graph import NodeId
 from ..core.semiring import Semiring
@@ -150,6 +158,32 @@ class AttemptInjector:
         #: Specs that fired during this attempt — what a detection in this
         #: attempt is attributed to when campaigns count coverage.
         self.triggered_specs: list[FaultSpec] = []
+
+    def may_trigger(
+        self,
+        fires: Mapping[NodeId, tuple[Hashable, int]],
+        input_ids: Iterable[NodeId],
+    ) -> bool:
+        """Could any armed fault affect an attempt with these firings?
+
+        Exact, not heuristic: a permanent fault needs a firing on its
+        physical cell at or after its onset; a one-shot transient needs
+        its node to fire; a dropped word needs its input word to be
+        read.  When this returns ``False`` the injector is provably a
+        no-op for the attempt, so the runtime may run it without the
+        injection seam (and therefore on the vectorized backend).
+        """
+        if self.transient and any(n in fires for n in self.transient):
+            return True
+        if self.drops:
+            drops = self.drops
+            if any(nid in drops for nid in input_ids):
+                return True
+        for f in self.permanent:
+            for cell, t in fires.values():
+                if self.cell_map.get(cell, cell) == f.cell and t >= f.onset:
+                    return True
+        return False
 
     def on_fire_value(
         self, cycle: int, cell: Hashable, node: NodeId, value: Any

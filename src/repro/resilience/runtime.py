@@ -321,6 +321,7 @@ def run_resilient(
     record_metrics: bool = True,
     description: "str | None" = None,
     rng: "random.Random | None" = None,
+    backend: "str | None" = None,
 ) -> RecoveryResult:
     """Execute a partitioned design with checkpoints, detection, recovery.
 
@@ -344,13 +345,23 @@ def run_resilient(
         ``RecoveryResult.oracle_ok``.
     record_metrics:
         Publish ``repro_fault_*`` metrics to the process-wide registry.
+    backend:
+        Simulator backend for the per-set attempts (``None`` uses the
+        process default).  Attempts that an armed fault *could* touch
+        keep the injection seam and therefore run on the reference
+        interpreter regardless (see
+        :meth:`~repro.resilience.faults.AttemptInjector.may_trigger`);
+        provably fault-free attempts drop the seam and may use the
+        vectorized backend.
 
     Raises
     ------
     RecoveryExhausted
         When one G-set exceeds the retry budget or no cells survive.
     """
-    from ..arrays.cycle_sim import simulate
+    from ..arrays.vector_sim import get_backend, resolve_backend
+
+    simulate = get_backend(resolve_backend(backend))
 
     if reschedule is None:
         reschedule = lambda p: schedule_gsets(p, "vertical")  # noqa: E731
@@ -439,7 +450,16 @@ def run_resilient(
             ep.validate_exclusive()
 
             injector = AttemptInjector(faults, semiring, cell_map)
-            res = simulate(ep, sub, sub_inputs, semiring, inject=injector)
+            # When no armed fault can touch this attempt the injector is
+            # provably a no-op: drop the seam so the attempt may run on
+            # the vectorized backend (it falls back whenever ``inject``
+            # is armed).  The injector object itself stays — the
+            # watchdog reads its (empty) delivery log either way.
+            armed = injector.may_trigger(fires, sub_inputs)
+            res = simulate(
+                ep, sub, sub_inputs, semiring,
+                inject=injector if armed else None,
+            )
             if res.violations:  # pragma: no cover - internal invariant
                 raise ResilienceError(
                     f"attempt plan for G-set {s.sid} violated timing: "
@@ -731,6 +751,7 @@ def run_resilient_closure(
     aligned: bool = True,
     record_metrics: bool = True,
     description: "str | None" = None,
+    backend: "str | None" = None,
 ) -> RecoveryResult:
     """Resilient execution of a partitioned transitive closure.
 
@@ -750,4 +771,5 @@ def run_resilient_closure(
         aligned=aligned,
         record_metrics=record_metrics,
         description=description,
+        backend=backend,
     )

@@ -231,3 +231,101 @@ class TestPerfcheckCLI:
         assert main(["perfcheck", "--baseline", str(base),
                      "--current", str(cur),
                      "--classes", "warp_speed"]) == 2
+
+
+class TestCorruptHistory:
+    """A killed run truncates history.jsonl; the loader must survive it."""
+
+    def write_history(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        perf.append_history(path, record("F18", {"stall_cycles_total": 0}))
+        perf.append_history(path, record("F19", {"stall_cycles_total": 1}))
+        return path
+
+    def test_truncated_final_line_is_skipped_with_warning(self, tmp_path):
+        path = self.write_history(tmp_path)
+        whole = path.read_text()
+        path.write_text(whole[: len(whole) - 40])  # kill mid-record
+        skipped: list = []
+        with pytest.warns(perf.PerfHistoryWarning, match="corrupt history"):
+            records = perf.load_history(path, skipped=skipped)
+        assert [r["exp_id"] for r in records] == ["F18"]
+        assert len(skipped) == 1
+        assert skipped[0][0] == 2  # 1-based line number
+
+    def test_non_object_line_is_skipped(self, tmp_path):
+        path = self.write_history(tmp_path)
+        with path.open("a") as fh:
+            fh.write("[1, 2, 3]\n")
+        with pytest.warns(perf.PerfHistoryWarning, match="not a record"):
+            records = perf.load_history(path)
+        assert len(records) == 2
+
+    def test_load_records_counts_skips(self, tmp_path):
+        path = self.write_history(tmp_path)
+        with path.open("a") as fh:
+            fh.write('{"oops\n')
+        skipped: list = []
+        with pytest.warns(perf.PerfHistoryWarning):
+            latest = perf.load_records(path, skipped=skipped)
+        assert set(latest) == {"F18", "F19"}
+        assert len(skipped) == 1
+
+    def test_perfcheck_reports_skipped_count(self, tmp_path, capsys):
+        path = self.write_history(tmp_path)
+        with path.open("a") as fh:
+            fh.write('{"oops\n')
+        base = tmp_path / "baseline.json"
+        base.write_text(json.dumps(
+            perf.make_baseline([record("F18", {"stall_cycles_total": 0}),
+                                record("F19", {"stall_cycles_total": 1})])
+        ))
+        with pytest.warns(perf.PerfHistoryWarning):
+            rc = main(["perfcheck", "--baseline", str(base),
+                       "--current", str(path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "skipped 1 corrupt history line(s)" in out
+
+
+class TestRecordsWithoutExpId:
+    def test_latest_by_exp_skips_and_warns(self):
+        good = record("F18", {"stall_cycles_total": 0})
+        with pytest.warns(perf.PerfHistoryWarning, match="without exp_id"):
+            latest = perf.latest_by_exp([{"metrics": {"x": 1}}, good])
+        assert set(latest) == {"F18"}
+
+    def test_rollup_skips_unkeyable_records(self):
+        good = record("F18", {"stall_cycles_total": 0})
+        doc = perf.rollup([{"metrics": {"x": 1}}, good])
+        assert set(doc["experiments"]) == {"F18"}
+
+
+class TestNewMetricFindings:
+    def make_maps(self):
+        baseline = {"F18": record("F18", {"stall_cycles_total": 0})}
+        current = {
+            "F18": record(
+                "F18", {"stall_cycles_total": 0, "wall_vector_s": 0.01}
+            )
+        }
+        return baseline, current
+
+    def test_find_new_metrics_classifies(self):
+        baseline, current = self.make_maps()
+        assert perf.find_new_metrics(baseline, current) == [
+            ("F18", "wall_vector_s", "wall_time")
+        ]
+
+    def test_new_metric_is_reported_but_not_gating(self, tmp_path, capsys):
+        baseline, current = self.make_maps()
+        base = tmp_path / "baseline.json"
+        base.write_text(json.dumps(perf.make_baseline(baseline.values())))
+        cur = tmp_path / "history.jsonl"
+        perf.append_history(cur, current["F18"])
+        rc = main(["perfcheck", "--baseline", str(base),
+                   "--current", str(cur)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "NEW METRIC F18.wall_vector_s [wall_time]" in out
+        assert "no regressions" in out

@@ -1,0 +1,55 @@
+"""Parallel campaigns: worker processes must change nothing observable."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, get_registry, set_registry
+from repro.resilience import run_campaign
+
+
+@pytest.fixture()
+def fresh_registry():
+    previous = get_registry()
+    reg = MetricsRegistry()
+    set_registry(reg)
+    yield reg
+    set_registry(previous)
+
+
+def _campaign_metrics(reg: MetricsRegistry) -> dict:
+    return reg.to_json()
+
+
+def test_parallel_runs_and_metrics_match_sequential(fresh_registry) -> None:
+    configs = ["linear-n9-m3", "mesh-n8-m4"]
+    seq = run_campaign(seed=1, configs=configs)
+    seq_metrics = _campaign_metrics(fresh_registry)
+
+    reg2 = MetricsRegistry()
+    set_registry(reg2)
+    par = run_campaign(seed=1, configs=configs, jobs=2)
+    par_metrics = _campaign_metrics(reg2)
+
+    assert par.to_dict() == seq.to_dict()
+    assert par_metrics == seq_metrics
+
+
+def test_parallel_result_order_follows_config_order() -> None:
+    configs = ["mesh-n8-m4", "linear-n9-m3"]
+    result = run_campaign(
+        seed=0, configs=configs, jobs=2, record_metrics=False
+    )
+    seen = []
+    for run in result.runs:
+        if run.config not in seen:
+            seen.append(run.config)
+    assert seen == configs
+
+
+def test_vector_backend_campaign_matches_reference() -> None:
+    kw = dict(seed=0, configs=["linear-n9-m3"], record_metrics=False)
+    ref = run_campaign(backend="reference", **kw)
+    vec = run_campaign(backend="vector", **kw)
+    assert vec.to_dict() == ref.to_dict()
+    assert vec.ok

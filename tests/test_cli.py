@@ -147,3 +147,80 @@ def test_parser_requires_command() -> None:
 def test_unknown_command_rejected() -> None:
     with pytest.raises(SystemExit):
         build_parser().parse_args(["teleport"])
+
+
+def test_trace_out_creates_parent_dirs(capsys, tmp_path) -> None:
+    import json
+
+    out_file = tmp_path / "new_dir" / "nested" / "t.json"
+    out = run_cli(capsys, "trace", "--n", "6", "--m", "3",
+                  "--trace-out", str(out_file))
+    assert "stages traced" in out
+    names = {e["name"] for e in json.loads(out_file.read_text())["traceEvents"]}
+    assert "sim.simulate" in names
+
+
+def test_artefact_writers_create_parent_dirs(capsys, tmp_path) -> None:
+    lint_out = tmp_path / "reports" / "lint.json"
+    run_cli(capsys, "lint", "--n", "9", "--m", "3",
+            "--format", "json", "--out", str(lint_out))
+    assert lint_out.exists()
+
+    faults_out = tmp_path / "campaigns" / "f.json"
+    run_cli(capsys, "faults", "--config", "linear-n9-m3",
+            "--kinds", "transient", "--format", "json",
+            "--out", str(faults_out))
+    assert faults_out.exists()
+
+    dash_out = tmp_path / "site" / "dash.html"
+    run_cli(capsys, "dashboard", "--out", str(dash_out),
+            "--n", "6", "--m", "2")
+    assert dash_out.exists()
+
+
+def test_partition_backend_vector(capsys) -> None:
+    out = run_cli(capsys, "partition", "--n", "8", "--m", "3", "--simulate",
+                  "--backend", "vector", "--seed", "2")
+    assert "correct=True" in out
+    assert "violations=0" in out
+
+
+def test_trace_backend_vector_keeps_sim_span(capsys, tmp_path) -> None:
+    import json
+
+    out_file = tmp_path / "t.json"
+    run_cli(capsys, "trace", "--n", "6", "--m", "3",
+            "--backend", "vector", "--trace-out", str(out_file))
+    names = {e["name"] for e in json.loads(out_file.read_text())["traceEvents"]}
+    # Tracing installs a probe, which forces the reference interpreter.
+    assert "sim.simulate" in names
+
+
+def test_bench_single_experiment(capsys) -> None:
+    out = run_cli(capsys, "bench", "F20")
+    assert "G-set scheduling policies" in out
+    assert "vertical" in out
+
+
+def test_bench_parallel_vector_matches_reproduce(capsys) -> None:
+    seq = run_cli(capsys, "reproduce", "F20", "F07")
+    par = run_cli(capsys, "bench", "F20", "F07",
+                  "--jobs", "2", "--backend", "vector")
+    assert par == seq
+
+
+def test_bench_unknown_experiment_exits_two() -> None:
+    assert main(["bench", "NOPE"]) == 2
+
+
+def test_faults_parallel_jobs_match_sequential(capsys) -> None:
+    seq = run_cli(capsys, "faults", "--config", "linear-n9-m3")
+    par_out = run_cli(capsys, "faults", "--config", "linear-n9-m3",
+                      "--jobs", "2")
+    assert par_out == seq
+
+
+def test_faults_backend_vector(capsys) -> None:
+    out = run_cli(capsys, "faults", "--config", "linear-n9-m3",
+                  "--backend", "vector")
+    assert "3/3 runs ok" in out
