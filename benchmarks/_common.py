@@ -39,6 +39,7 @@ from typing import Mapping, Sequence
 
 from repro.obs import MetricsRegistry
 from repro.obs import perf
+from repro.obs import runlog
 
 OUT_DIR = Path(__file__).parent / "out"
 
@@ -101,7 +102,8 @@ def record_run(
             {k: float(v) for k, v in perf_metrics.items()}
         )
     record = perf.make_record(
-        exp_id, metrics, title=title, n=n, m=m, commit=_COMMIT
+        exp_id, metrics, title=title, n=n, m=m, commit=_COMMIT,
+        run_id=runlog.current_run_id(),
     )
     perf.append_history(HISTORY_PATH, record)
     perf.write_trajectory(TRAJECTORY_PATH, perf.load_history(HISTORY_PATH))

@@ -28,3 +28,18 @@ def pytest_configure(config: pytest.Config) -> None:
         import _common
 
         _common.set_quiet(True)
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _bench_run_ledger():
+    """One run-ledger scope around the whole harness session.
+
+    Every ``history.jsonl`` record a benchmark appends carries this
+    run's ID (see :func:`repro.obs.perf.make_record`), so a perfcheck
+    regression links back to the ledger of the harness run that
+    produced it.
+    """
+    from repro.obs import runlog
+
+    with runlog.run_scope("bench-harness", {"suite": "benchmarks"}):
+        yield

@@ -44,6 +44,7 @@ import numpy as np
 from ..core.evaluate import OPCODE_SEMANTICS
 from ..core.graph import DependenceGraph, GraphError, NodeId, NodeKind
 from ..core.semiring import Semiring
+from ..obs import runlog
 from ..obs.metrics import get_registry
 from .cycle_sim import SimResult, SimulationError, Violation
 from .plan import ExecutionPlan
@@ -499,18 +500,31 @@ def get_compiled(
     fp = plan_fingerprint(plan, dg, semiring)
     hit = _CACHE.get(fp)
     reg = get_registry()
+    experiment = runlog.current_task()
     if hit is not None:
         _HITS += 1
         reg.counter(
             "repro_vector_cache_hits_total",
             "Compiled-plan cache hits",
         ).inc()
+        reg.counter(
+            "repro_plan_cache_hits_total",
+            "Compiled-plan cache hits by experiment",
+        ).inc(experiment=experiment)
+        runlog.emit(
+            "plan_cache", outcome="hit", plan_fingerprint=fp,
+            graph=dg.name,
+        )
         return hit
     _MISSES += 1
     reg.counter(
         "repro_vector_cache_misses_total",
         "Compiled-plan cache misses (each is one compile)",
     ).inc()
+    reg.counter(
+        "repro_plan_cache_misses_total",
+        "Compiled-plan cache misses by experiment (each is one compile)",
+    ).inc(experiment=experiment)
     compiled = compile_plan(plan, dg, semiring)
     compiled.fingerprint = fp
     if len(_CACHE) >= _CACHE_MAX:
@@ -520,6 +534,10 @@ def get_compiled(
         "repro_vector_compile_seconds_total",
         "Wall-clock seconds spent compiling plans",
     ).inc(compiled.compile_seconds)
+    runlog.emit(
+        "plan_cache", outcome="compile", plan_fingerprint=fp,
+        graph=dg.name, compile_s=round(compiled.compile_seconds, 6),
+    )
     return compiled
 
 

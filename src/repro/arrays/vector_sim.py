@@ -33,6 +33,7 @@ from typing import TYPE_CHECKING, Any, Callable, Mapping
 
 from ..core.graph import DependenceGraph, NodeId
 from ..core.semiring import BOOLEAN, Semiring
+from ..obs import runlog
 from ..obs.metrics import get_registry
 from ..obs.tracing import stage_span
 from .cycle_sim import SimResult, simulate
@@ -61,6 +62,7 @@ def _count_fallback(reason: str) -> None:
         "repro_vector_fallback_total",
         "Runs the vector backend handed to the reference interpreter",
     ).inc(reason=reason)
+    runlog.emit("fallback", backend="vector", reason=reason)
 
 
 def simulate_vector(

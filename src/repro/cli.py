@@ -205,6 +205,47 @@ def build_parser() -> argparse.ArgumentParser:
                         "latest records of --current")
 
     s = sub.add_parser(
+        "obs",
+        help="query run ledgers: list/show/diff/verify the JSONL event "
+             "logs every entry point records (see docs/observability.md)",
+    )
+    obs_sub = s.add_subparsers(dest="obs_command", required=True)
+
+    o = obs_sub.add_parser("list", help="summarize recent runs, newest first")
+    o.add_argument("--dir", default=None, metavar="DIR",
+                   help="ledger directory (default: REPRO_RUNLOG_DIR or "
+                        "./runs)")
+    o.add_argument("--limit", type=int, default=20, metavar="N",
+                   help="show at most N runs (default: 20)")
+
+    o = obs_sub.add_parser(
+        "show",
+        help="one run's stage timeline with durations and cache/"
+             "fallback/recovery annotations",
+    )
+    o.add_argument("run_id", nargs="?", default=None,
+                   help="run ID (default: the most recent run)")
+    o.add_argument("--dir", default=None, metavar="DIR")
+
+    o = obs_sub.add_parser(
+        "diff",
+        help="compare two runs: event counts, stage durations, and "
+             "content (modulo timestamps); exits 1 when content differs",
+    )
+    o.add_argument("run_a")
+    o.add_argument("run_b")
+    o.add_argument("--dir", default=None, metavar="DIR")
+
+    o = obs_sub.add_parser(
+        "verify",
+        help="check ledger integrity: schema, contiguous seq, per-task "
+             "monotonic timestamps, balanced stages, no orphan events",
+    )
+    o.add_argument("run_ids", nargs="*",
+                   help="run IDs to verify (default: every ledger)")
+    o.add_argument("--dir", default=None, metavar="DIR")
+
+    s = sub.add_parser(
         "dashboard",
         help="render the self-contained HTML performance dashboard "
              "(per-cell heatmaps, occupancy lanes, measured-vs-closed-form "
@@ -223,6 +264,10 @@ def build_parser() -> argparse.ArgumentParser:
                    default="benchmarks/out/history.jsonl",
                    help="benchmark history JSONL for the trajectory section "
                         "(skipped when missing)")
+    s.add_argument("--runs", metavar="DIR", default=None,
+                   help="run-ledger directory for the run-history panel "
+                        "(default: REPRO_RUNLOG_DIR or ./runs; skipped "
+                        "when missing)")
     return p
 
 
@@ -248,25 +293,24 @@ def _cmd_stages(args) -> int:
     return 0
 
 
-def _run_traced_pipeline(args):
+def _run_traced_pipeline(args, trace_path=None):
     """Build + simulate one partitioned closure under tracer and probe.
 
     Returns ``(impl, result, ok, tracer, probe)`` — the shared machinery
-    of ``trace``, ``stats`` and ``partition --trace-out``.
+    of ``trace``, ``stats`` and ``partition --trace-out``.  When
+    ``trace_path`` is given and the run raises, the valid partial Chrome
+    trace (with a terminal ``trace.error`` event) is still flushed there
+    before the exception propagates — see
+    :func:`repro.obs.tracing.traced_run`.
     """
     from .algorithms.transitive_closure import make_inputs
     from .algorithms.warshall import random_adjacency, warshall
     from .arrays.vector_sim import dispatch_simulate
     from .core.partitioner import partition_transitive_closure
-    from .obs import (
-        RecordingProbe,
-        install_tracer,
-        probe_chrome_events,
-        uninstall_tracer,
-    )
+    from .obs import RecordingProbe, probe_chrome_events
+    from .obs.tracing import traced_run
 
-    tracer = install_tracer()
-    try:
+    with traced_run(trace_path) as tracer:
         impl = partition_transitive_closure(
             n=args.n, m=args.m, geometry=args.geometry,
             policy=args.policy, aligned=not getattr(args, "packed", False),
@@ -281,8 +325,6 @@ def _run_traced_pipeline(args):
             backend=getattr(args, "backend", None),
         )
         ok = bool(np.array_equal(res.output_matrix(args.n), warshall(a)))
-    finally:
-        uninstall_tracer()
     tracer.add_chrome_events(probe_chrome_events(probe))
     return impl, res, ok, tracer, probe
 
@@ -695,6 +737,99 @@ def _cmd_perfcheck(args) -> int:
     return 1 if regressions else 0
 
 
+def _cmd_obs(args) -> int:
+    from .obs import runlog
+
+    if args.obs_command == "list":
+        summaries = runlog.list_runs(args.dir)
+        if not summaries:
+            print(f"obs: no ledgers under {runlog.runlog_dir(args.dir)}")
+            return 0
+        print(f"{'run':<34} {'entry':<12} {'events':>6} {'tasks':>5} "
+              f"{'dur(s)':>8} ok")
+        for s in summaries[: args.limit]:
+            dur = (
+                f"{s['duration_s']:8.3f}"
+                if s["duration_s"] is not None else f"{'?':>8}"
+            )
+            print(f"{s['run'] or '?':<34} {s['entry'] or '?':<12} "
+                  f"{s['events']:>6} {len(s['tasks']):>5} {dur} "
+                  f"{s['ok']}")
+        return 0
+
+    if args.obs_command == "show":
+        run_id = args.run_id
+        if run_id is None:
+            summaries = runlog.list_runs(args.dir)
+            if not summaries:
+                print(
+                    f"obs: no ledgers under {runlog.runlog_dir(args.dir)}",
+                    file=sys.stderr,
+                )
+                return 2
+            run_id = summaries[0]["run"]
+        path = runlog.ledger_path(run_id, args.dir)
+        try:
+            events, problems = runlog.read_ledger(path)
+        except OSError as exc:
+            print(f"obs: cannot read {path}: {exc}", file=sys.stderr)
+            return 2
+        print(runlog.format_show(events))
+        if problems:
+            print(f"obs: {len(problems)} corrupt line(s) skipped",
+                  file=sys.stderr)
+        return 0
+
+    if args.obs_command == "diff":
+        loaded = []
+        for run_id in (args.run_a, args.run_b):
+            path = runlog.ledger_path(run_id, args.dir)
+            try:
+                events, _problems = runlog.read_ledger(path)
+            except OSError as exc:
+                print(f"obs: cannot read {path}: {exc}", file=sys.stderr)
+                return 2
+            loaded.append(events)
+        text, identical = runlog.format_diff(
+            loaded[0], loaded[1], args.run_a, args.run_b
+        )
+        print(text)
+        return 0 if identical else 1
+
+    # verify
+    if args.run_ids:
+        targets = [
+            (rid, runlog.ledger_path(rid, args.dir)) for rid in args.run_ids
+        ]
+    else:
+        targets = [
+            (s["run"], runlog.ledger_path(s["run"], args.dir))
+            for s in runlog.list_runs(args.dir)
+        ]
+    if not targets:
+        print(f"obs: no ledgers under {runlog.runlog_dir(args.dir)}",
+              file=sys.stderr)
+        return 2
+    bad = 0
+    for run_id, path in targets:
+        try:
+            events, problems = runlog.read_ledger(path)
+        except OSError as exc:
+            print(f"{run_id}: FAIL (cannot read: {exc})")
+            bad += 1
+            continue
+        findings = runlog.verify_ledger(events, problems, run_id=run_id)
+        if findings:
+            bad += 1
+            print(f"{run_id}: FAIL ({len(findings)} finding(s))")
+            for f in findings:
+                print(f"  - {f}")
+        else:
+            print(f"{run_id}: ok ({len(events)} event(s))")
+    print(f"obs verify: {len(targets) - bad}/{len(targets)} ledger(s) clean")
+    return 1 if bad else 0
+
+
 def _cmd_dashboard(args) -> int:
     from pathlib import Path
 
@@ -709,9 +844,13 @@ def _cmd_dashboard(args) -> int:
                   file=sys.stderr)
             return 2
     history = args.history if Path(args.history).exists() else None
+    from .obs import runlog as _runlog
+
+    runs_dir = _runlog.runlog_dir(args.runs)
     html = build_dashboard(
         n=args.n, m=args.m, geometry=args.geometry, policy=args.policy,
         seed=args.seed, sizes=sizes, history_path=history,
+        runlog_dir=str(runs_dir) if runs_dir.is_dir() else None,
     )
     _write_text(args.out, html)
     print(f"dashboard: {args.out} ({len(html):,} bytes"
@@ -734,11 +873,27 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "stats": _cmd_stats,
     "perfcheck": _cmd_perfcheck,
+    "obs": _cmd_obs,
     "dashboard": _cmd_dashboard,
 }
+
+#: Verbs that open a run-ledger scope (see :mod:`repro.obs.runlog`).
+#: ``jobs`` is excluded from the run identity so ``--jobs N`` shares the
+#: sequential run's ledger.
+_LEDGER_VERBS = frozenset({"partition", "trace", "faults", "bench", "perfcheck"})
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point for ``python -m repro``."""
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    handler = _COMMANDS[args.command]
+    if args.command in _LEDGER_VERBS:
+        from .obs import runlog
+
+        params = {
+            k: v for k, v in sorted(vars(args).items())
+            if k not in ("command", "jobs")
+        }
+        with runlog.run_scope(args.command, params):
+            return handler(args)
+    return handler(args)

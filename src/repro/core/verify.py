@@ -107,49 +107,74 @@ def verify_implementation(
         vector backend the plan is compiled once and every trial is a
         cached replay — see :mod:`repro.arrays.vector_compile`.
     """
+    from ..arrays.vector_sim import resolve_backend
+    from ..obs import runlog
+
     rng = np.random.default_rng(seed)
     n = len({nid[1] for nid in impl.dg.inputs})
-    lint_report = None
-    if preflight:
-        from ..lint import LintTarget, run_lint
-        from .metrics import tc_io_bandwidth
-
-        lint_report = run_lint(
-            LintTarget.from_implementation(
-                impl, io_bound=tc_io_bandwidth(n, impl.plan.m)
-            )
+    params = {
+        "design": impl.dg.name,
+        "geometry": impl.plan.geometry,
+        "m": impl.plan.m,
+        "trials": trials,
+        "seed": seed,
+        "backend": backend,
+    }
+    with runlog.run_scope("verify", params):
+        runlog.emit(
+            "backend", backend=resolve_backend(backend),
+            design=impl.dg.name,
         )
-    sr = impl.semiring
-    inputs = [_random_input(n, sr, rng) for _ in range(trials)]
-    for extra in extra_inputs or []:
-        if extra.shape != (n, n):
-            raise ValueError(
-                f"extra input shape {extra.shape} does not match n={n}"
-            )
-        inputs.append(np.asarray(extra))
+        lint_report = None
+        if preflight:
+            from ..lint import LintTarget, run_lint
+            from .metrics import tc_io_bandwidth
 
-    correct = 0
-    violation_trials = 0
-    max_mem = 0
-    mismatches: list[str] = []
-    for idx, a in enumerate(inputs):
-        res = impl.simulate(a, backend=backend)
-        if res.violations:
-            violation_trials += 1
-        max_mem = max(max_mem, res.memory_words)
-        got = res.output_matrix(n, sr)
-        expected = closure_reference(a, sr)
-        if np.array_equal(got, expected):
-            correct += 1
-        else:
-            bad = int(np.sum(got != expected))
-            mismatches.append(f"trial {idx}: {bad} mismatching entries")
-    return VerificationReport(
-        trials=len(inputs),
-        correct=correct,
-        violation_trials=violation_trials,
-        stall_cycles=impl.exec_plan.stall_cycles,
-        max_memory_words=max_mem,
-        mismatches=mismatches,
-        lint=lint_report,
-    )
+            with runlog.stage_scope("verify.preflight"):
+                lint_report = run_lint(
+                    LintTarget.from_implementation(
+                        impl, io_bound=tc_io_bandwidth(n, impl.plan.m)
+                    )
+                )
+        sr = impl.semiring
+        inputs = [_random_input(n, sr, rng) for _ in range(trials)]
+        for extra in extra_inputs or []:
+            if extra.shape != (n, n):
+                raise ValueError(
+                    f"extra input shape {extra.shape} does not match n={n}"
+                )
+            inputs.append(np.asarray(extra))
+
+        correct = 0
+        violation_trials = 0
+        max_mem = 0
+        mismatches: list[str] = []
+        with runlog.stage_scope("verify.trials", trials=len(inputs)):
+            for idx, a in enumerate(inputs):
+                res = impl.simulate(a, backend=backend)
+                if res.violations:
+                    violation_trials += 1
+                max_mem = max(max_mem, res.memory_words)
+                got = res.output_matrix(n, sr)
+                expected = closure_reference(a, sr)
+                if np.array_equal(got, expected):
+                    correct += 1
+                else:
+                    bad = int(np.sum(got != expected))
+                    mismatches.append(
+                        f"trial {idx}: {bad} mismatching entries"
+                    )
+        report = VerificationReport(
+            trials=len(inputs),
+            correct=correct,
+            violation_trials=violation_trials,
+            stall_cycles=impl.exec_plan.stall_cycles,
+            max_memory_words=max_mem,
+            mismatches=mismatches,
+            lint=lint_report,
+        )
+        runlog.emit(
+            "oracle", design=impl.dg.name, checked=True, ok=report.ok,
+            trials=report.trials, correct=report.correct,
+        )
+        return report

@@ -19,34 +19,51 @@ from __future__ import annotations
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Sequence
 
+from ..obs import runlog
 from ..obs.metrics import MetricsRegistry, get_registry, set_registry
 
 __all__ = ["run_experiments"]
 
 
+def _run_one(exp_id: str) -> list[dict]:
+    """Build one experiment table inside a ledger stage (any process)."""
+    from . import EXPERIMENTS
+
+    with runlog.stage_scope("experiment.run", exp=exp_id):
+        return EXPERIMENTS[exp_id].run()
+
+
 def _experiment_worker(
-    exp_id: str, backend: str | None, record_metrics: bool
-) -> tuple[str, list[dict], dict[str, Any] | None]:
-    """Run one experiment in this process; return ``(id, rows, metrics)``.
+    exp_id: str,
+    backend: str | None,
+    record_metrics: bool,
+    runlog_payload: dict[str, str] | None = None,
+) -> tuple[str, list[dict], dict[str, Any] | None, list[dict[str, Any]]]:
+    """Run one experiment in this process; return ``(id, rows, metrics,
+    runlog_events)``.
 
     Installs a fresh registry (when metrics are recorded) and the
     requested backend default before building the table, so the child is
-    indistinguishable from a sequential in-process run.
+    indistinguishable from a sequential in-process run.  The parent's
+    run-log context arrives in ``runlog_payload``; the worker's event
+    buffer rides back with the result and is absorbed in submission
+    order (like the registry snapshot).
     """
-    from . import EXPERIMENTS
     from ..arrays.vector_sim import set_default_backend
 
     if backend is not None:
         set_default_backend(backend)
     snapshot: dict[str, Any] | None = None
-    if record_metrics:
-        reg = MetricsRegistry()
-        set_registry(reg)
-        rows = EXPERIMENTS[exp_id].run()
-        snapshot = reg.to_json()
-    else:
-        rows = EXPERIMENTS[exp_id].run()
-    return exp_id, rows, snapshot
+    with runlog.worker_scope(runlog_payload, task=exp_id) as rl:
+        if record_metrics:
+            reg = MetricsRegistry()
+            set_registry(reg)
+            rows = _run_one(exp_id)
+            snapshot = reg.to_json()
+        else:
+            rows = _run_one(exp_id)
+    events = rl.events if rl is not None else []
+    return exp_id, rows, snapshot, events
 
 
 def run_experiments(
@@ -80,29 +97,47 @@ def run_experiments(
     if unknown:
         raise KeyError(f"unknown experiment id(s): {', '.join(unknown)}")
 
-    if not jobs or jobs <= 1 or len(exp_ids) <= 1:
-        # Sequential runs share this process's registry already; apply
-        # the backend override around the loop and restore it after.
-        from ..arrays.vector_sim import set_default_backend
+    # Run identity: the workload, never the parallelism degree.
+    params = {"exp_ids": list(exp_ids), "backend": backend}
+    with runlog.run_scope("bench", params) as rl:
+        if not jobs or jobs <= 1 or len(exp_ids) <= 1:
+            # Sequential runs share this process's registry already;
+            # apply the backend override around the loop, restore after.
+            from ..arrays.vector_sim import set_default_backend
 
-        prev = set_default_backend(backend) if backend is not None else None
-        try:
-            return [(eid, EXPERIMENTS[eid].run()) for eid in exp_ids]
-        finally:
-            if prev is not None:
-                set_default_backend(prev)
+            prev = (
+                set_default_backend(backend) if backend is not None else None
+            )
+            try:
+                results = []
+                for eid in exp_ids:
+                    with runlog.task_scope(eid):
+                        results.append((eid, _run_one(eid)))
+                return results
+            finally:
+                if prev is not None:
+                    set_default_backend(prev)
 
-    results: list[tuple[str, list[dict]]] = []
-    with ProcessPoolExecutor(max_workers=min(jobs, len(exp_ids))) as pool:
-        futures = [
-            pool.submit(_experiment_worker, eid, backend, record_metrics)
-            for eid in exp_ids
-        ]
-        # Collect in submission order: deterministic regardless of which
-        # worker finishes first.
-        for fut in futures:
-            eid, rows, snapshot = fut.result()
-            if snapshot is not None:
-                get_registry().merge_json(snapshot)
-            results.append((eid, rows))
-    return results
+        results = []
+        payload = runlog.worker_payload()
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(exp_ids))
+        ) as pool:
+            futures = [
+                pool.submit(
+                    _experiment_worker, eid, backend, record_metrics,
+                    payload,
+                )
+                for eid in exp_ids
+            ]
+            # Collect in submission order: deterministic regardless of
+            # which worker finishes first; ledger events merge under the
+            # same rule as the registry snapshots.
+            for fut in futures:
+                eid, rows, snapshot, events = fut.result()
+                if snapshot is not None:
+                    get_registry().merge_json(snapshot)
+                if rl is not None:
+                    rl.absorb(events)
+                results.append((eid, rows))
+        return results

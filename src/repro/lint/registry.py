@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
+from ..obs import runlog
 from ..obs.metrics import get_registry
 from .diagnostics import Diagnostic, LintReport, Severity
 
@@ -230,6 +231,11 @@ def run_lint(
         ran.append(lp.name)
     report.passes_run = tuple(ran)
     report.passes_skipped = tuple(skipped)
+    runlog.emit(
+        "lint", target=target.description, ok=report.ok,
+        errors=len(report.errors), warnings=len(report.warnings),
+        passes=len(ran),
+    )
 
     if record_metrics:
         reg = get_registry()

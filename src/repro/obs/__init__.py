@@ -19,6 +19,10 @@ Three instruments, one package:
 * :mod:`repro.obs.perf` — the **benchmark history store** (JSONL +
   ``BENCH_PERF.json`` trajectory roll-up) and the **regression
   detector** behind ``python -m repro perfcheck``.
+* :mod:`repro.obs.runlog` — the **run ledger**: every entry point opens
+  a run context with a deterministic run ID and appends typed JSONL
+  events (stages, lint, plan cache, backend, faults, checkpoints,
+  oracle) to ``runs/<run-id>.jsonl``; query via ``python -m repro obs``.
 * :mod:`repro.obs.dashboard` — the self-contained **HTML dashboard**
   (``python -m repro dashboard``); imported lazily (as
   ``repro.obs.dashboard``) because it pulls in the viz layer.
@@ -69,12 +73,35 @@ from .report import (  # noqa: F401
     register_expected_metrics,
     register_sim_metrics,
 )
+from .runlog import (  # noqa: F401
+    RUNLOG_SCHEMA_VERSION,
+    RunLog,
+    current_run,
+    current_run_id,
+    current_task,
+    emit,
+    ledger_path,
+    list_runs,
+    make_run_id,
+    read_ledger,
+    run_scope,
+    runlog_dir,
+    runlog_enabled,
+    stage_scope,
+    strip_nondeterministic,
+    summarize,
+    task_scope,
+    verify_ledger,
+    worker_payload,
+    worker_scope,
+)
 from .tracing import (  # noqa: F401
     Span,
     Tracer,
     get_tracer,
     install_tracer,
     stage_span,
+    traced_run,
     uninstall_tracer,
 )
 
@@ -112,6 +139,27 @@ __all__ = [
     "install_tracer",
     "uninstall_tracer",
     "get_tracer",
+    "traced_run",
+    "RUNLOG_SCHEMA_VERSION",
+    "RunLog",
+    "run_scope",
+    "task_scope",
+    "stage_scope",
+    "emit",
+    "current_run",
+    "current_run_id",
+    "current_task",
+    "make_run_id",
+    "ledger_path",
+    "runlog_dir",
+    "runlog_enabled",
+    "worker_payload",
+    "worker_scope",
+    "read_ledger",
+    "list_runs",
+    "summarize",
+    "verify_ledger",
+    "strip_nondeterministic",
     "occupancy_timeline",
     "memory_traffic_per_cycle",
     "io_demand_curve",

@@ -29,6 +29,7 @@ from ..viz.svg import svg_heatmap, svg_lanes, svg_line_chart
 from .perf import load_history
 from .probe import RecordingProbe
 from .report import io_demand_curve, occupancy_timeline
+from .runlog import list_runs
 
 __all__ = [
     "ACTIVITY_CLASSES",
@@ -414,11 +415,50 @@ def _trajectory_sections(history: Sequence[Mapping], max_exps: int = 8) -> list[
     ]
 
 
+def _runlog_sections(summaries: Sequence[Mapping[str, Any]]) -> list[str]:
+    """The run-history panel: one row per ledger, newest first."""
+    rows = []
+    for s in summaries:
+        counts = s.get("counts", {})
+        annotations = ", ".join(
+            f"{name}={counts[name]}"
+            for name in (
+                "lint", "plan_cache", "fallback", "fault_inject",
+                "fault_detect", "fault_recover", "checkpoint",
+                "repartition", "oracle", "error",
+            )
+            if counts.get(name)
+        )
+        rows.append(
+            {
+                "run": s.get("run") or "-",
+                "entry": s.get("entry") or "-",
+                "events": s.get("events", 0),
+                "tasks": len(s.get("tasks", [])),
+                "duration_s": (
+                    round(s["duration_s"], 3)
+                    if s.get("duration_s") is not None else "-"
+                ),
+                "ok": s.get("ok"),
+                "annotations": annotations or "-",
+            }
+        )
+    clean = sum(1 for s in summaries if s.get("ok"))
+    return [
+        '<div class="card">'
+        + _tile("ledgers", str(len(summaries)))
+        + _tile("completed ok", str(clean))
+        + _details_table("recent runs (repro obs list)", rows)
+        + "</div>"
+    ]
+
+
 def render_dashboard(
     run: dict | None = None,
     sweep_rows: Sequence[Mapping[str, Any]] | None = None,
     history: Sequence[Mapping] | None = None,
     title: str = "repro - performance dashboard",
+    runlog_summaries: Sequence[Mapping[str, Any]] | None = None,
 ) -> str:
     """Assemble the full HTML document from pre-computed pieces."""
     body: list[str] = [f"<h1>{escape(title)}</h1>"]
@@ -438,7 +478,10 @@ def render_dashboard(
     if history:
         body.append("<h2>Benchmark history (perf trajectory)</h2>")
         body.extend(_trajectory_sections(history))
-    if run is None and not sweep_rows and not history:
+    if runlog_summaries:
+        body.append("<h2>Run ledger (recent runs)</h2>")
+        body.extend(_runlog_sections(runlog_summaries))
+    if run is None and not sweep_rows and not history and not runlog_summaries:
         body.append('<p class="sub">(nothing to show)</p>')
     return (
         "<!DOCTYPE html><html><head><meta charset='utf-8'>"
@@ -456,6 +499,7 @@ def build_dashboard(
     seed: int = 0,
     sizes: Sequence[int] | None = None,
     history_path: str | None = None,
+    runlog_dir: str | None = None,
 ) -> str:
     """Run the pipeline, sweep sizes, load history, render — one call."""
     run = collect_run(n, m, geometry=geometry, policy=policy, seed=seed)
@@ -463,4 +507,5 @@ def build_dashboard(
         sizes = sorted({max(4, n - 3), n, n + 3})
     sweep = sweep_closed_forms(sizes, m, geometry=geometry, policy=policy)
     history = load_history(history_path) if history_path else []
-    return render_dashboard(run, sweep, history)
+    summaries = list_runs(runlog_dir) if runlog_dir else []
+    return render_dashboard(run, sweep, history, runlog_summaries=summaries)

@@ -122,14 +122,21 @@ def make_record(
     m: int | None = None,
     commit: str | None = None,
     ts: float | None = None,
+    run_id: str | None = None,
 ) -> dict:
-    """One history record: experiment key + flat ``{metric: value}`` dict."""
+    """One history record: experiment key + flat ``{metric: value}`` dict.
+
+    ``run_id`` links the record to its run ledger (see
+    :mod:`repro.obs.runlog`) so a perf regression can be traced back to
+    the exact run — ``repro obs show <run-id>`` — that produced it.
+    """
     return {
         "version": SCHEMA_VERSION,
         "exp_id": exp_id,
         "title": title,
         "ts": time.time() if ts is None else ts,
         "commit": commit,
+        "run_id": run_id,
         "n": n,
         "m": m,
         "metrics": {k: _as_number(v) for k, v in metrics.items()},
@@ -227,6 +234,7 @@ def rollup(records: Sequence[Mapping], keep: int = TRAJECTORY_KEEP) -> dict:
             {
                 "ts": rec.get("ts"),
                 "commit": rec.get("commit"),
+                "run_id": rec.get("run_id"),
                 "n": rec.get("n"),
                 "m": rec.get("m"),
                 "metrics": dict(rec.get("metrics", {})),
@@ -405,6 +413,17 @@ def format_report(
         f"perfcheck: {len(shared)} experiment(s) compared"
         + (f" [classes: {', '.join(classes)}]" if classes else ""),
     ]
+    run_ids = sorted(
+        {
+            rec.get("run_id")
+            for rec in current.values()
+            if rec.get("run_id")
+        }
+    )
+    if run_ids:
+        lines.append(
+            "current records from run ledger(s): " + ", ".join(run_ids)
+        )
     for exp_id in shared:
         base_m = baseline[exp_id].get("metrics", {})
         cur_m = current[exp_id].get("metrics", {})

@@ -33,6 +33,7 @@ __all__ = [
     "install_tracer",
     "uninstall_tracer",
     "get_tracer",
+    "traced_run",
     "WALL_PID",
     "SIM_PID",
 ]
@@ -134,6 +135,20 @@ class Tracer:
             }
         )
 
+    def terminal_error(self, exc: BaseException) -> None:
+        """Record a run-ending exception as a terminal instant event.
+
+        Open spans are closed by their context managers during unwind,
+        so a trace that ends with this marker is still a valid Chrome
+        trace — Perfetto shows every stage up to the failure plus the
+        ``trace.error`` instant naming the exception.
+        """
+        self.instant(
+            "trace.error",
+            error=type(exc).__name__,
+            message=str(exc),
+        )
+
     def add_chrome_event(self, event: dict) -> None:
         """Append a pre-built Chrome trace event (probes use this)."""
         self.extra_events.append(event)
@@ -224,6 +239,29 @@ def uninstall_tracer() -> Tracer | None:
     prev = _TRACER
     _TRACER = None
     return prev
+
+
+@contextmanager
+def traced_run(trace_path: "str | Path | None" = None) -> Iterator[Tracer]:
+    """Install a tracer for one run, crash-safe.
+
+    On normal exit the tracer is uninstalled and handed back untouched —
+    the caller decides what to export (and may append probe events
+    first).  On an escaping exception, a terminal ``trace.error``
+    instant is recorded and — when ``trace_path`` is given — the valid
+    partial Chrome trace is flushed to it before the exception
+    propagates, so a crashed traced run never loses its trace file.
+    """
+    tracer = install_tracer()
+    try:
+        yield tracer
+    except BaseException as exc:
+        tracer.terminal_error(exc)
+        if trace_path is not None:
+            tracer.write_chrome(trace_path)
+        raise
+    finally:
+        uninstall_tracer()
 
 
 @contextmanager

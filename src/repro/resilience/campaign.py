@@ -24,20 +24,22 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import TYPE_CHECKING, Any, Hashable, Sequence
+from typing import TYPE_CHECKING, Any, Hashable, Mapping, Sequence
 
 import numpy as np
 
 from ..algorithms import transitive_closure as tc
 from ..arrays.plan import partitioned_plan
+from ..arrays.vector_compile import compiled_cache_info
 from ..core.semiring import BOOLEAN, Semiring
+from ..obs import runlog
 from ..obs.metrics import get_registry
 from .faults import FaultKind, FaultSpec
 from .runtime import RecoveryPolicy, RecoveryResult, ResilienceError, run_resilient
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guards
     from ..core.ggraph import GGraph
-    from ..core.graph import DependenceGraph
+    from ..core.graph import DependenceGraph, NodeId
     from ..core.gsets import GSet, GSetPlan
 
 __all__ = [
@@ -310,31 +312,57 @@ def _config_runs(
     backend: "str | None",
 ) -> list[CampaignRun]:
     """All campaign cells of one configuration (one design build)."""
-    design = build_design(config)
-    a = seeded_matrix(
-        config.n, random.Random(f"{seed}:{config.name}:matrix")
+    cache_before = compiled_cache_info()
+    with runlog.stage_scope("campaign.config", config=config.name):
+        design = build_design(config)
+        a = seeded_matrix(
+            config.n, random.Random(f"{seed}:{config.name}:matrix")
+        )
+        inputs = tc.make_inputs(a, design.semiring)
+        runs = _kind_runs(
+            seed, config, kinds, policy, record_metrics, backend,
+            design, inputs,
+        )
+    cache_after = compiled_cache_info()
+    runlog.emit(
+        "plan_cache", outcome="summary", config=config.name,
+        hits=cache_after["hits"] - cache_before["hits"],
+        misses=cache_after["misses"] - cache_before["misses"],
     )
-    inputs = tc.make_inputs(a, design.semiring)
+    return runs
+
+
+def _kind_runs(
+    seed: int,
+    config: CampaignConfig,
+    kinds: Sequence[FaultKind],
+    policy: RecoveryPolicy,
+    record_metrics: bool,
+    backend: "str | None",
+    design: CampaignDesign,
+    inputs: "Mapping[NodeId, Any]",
+) -> list[CampaignRun]:
     runs: list[CampaignRun] = []
     for kind in kinds:
         rng = random.Random(f"{seed}:{config.name}:{kind.value}")
         spec = plan_fault(design, kind, rng)
         error: "str | None" = None
         result: "RecoveryResult | None" = None
-        try:
-            result = run_resilient(
-                design.dg, design.gg, design.plan, design.order,
-                inputs,
-                semiring=design.semiring,
-                faults=[spec],
-                policy=policy,
-                aligned=config.aligned,
-                record_metrics=record_metrics,
-                description=f"{config.name}:{kind.value}",
-                backend=backend,
-            )
-        except ResilienceError as exc:
-            error = f"{type(exc).__name__}: {exc}"
+        with runlog.stage_scope("campaign.cell", kind=kind.value):
+            try:
+                result = run_resilient(
+                    design.dg, design.gg, design.plan, design.order,
+                    inputs,
+                    semiring=design.semiring,
+                    faults=[spec],
+                    policy=policy,
+                    aligned=config.aligned,
+                    record_metrics=record_metrics,
+                    description=f"{config.name}:{kind.value}",
+                    backend=backend,
+                )
+            except ResilienceError as exc:
+                error = f"{type(exc).__name__}: {exc}"
         if result is not None:
             run = CampaignRun(
                 config=config.name,
@@ -391,22 +419,30 @@ def _campaign_worker(
     policy: RecoveryPolicy,
     record_metrics: bool,
     backend: "str | None",
-) -> "tuple[list[CampaignRun], dict[str, Any] | None]":
+    runlog_payload: "dict[str, str] | None" = None,
+) -> "tuple[list[CampaignRun], dict[str, Any] | None, list[dict[str, Any]]]":
     """One worker process: a fresh registry, one config, all kinds.
 
     Module-level so :class:`~concurrent.futures.ProcessPoolExecutor`
-    can pickle it.  Returns the runs plus the worker registry's JSON
-    snapshot, which the parent merges into its own registry.
+    can pickle it.  Returns the runs, the worker registry's JSON
+    snapshot (merged into the parent registry), and the worker's run-log
+    event buffer (absorbed into the parent ledger in submission order —
+    the same discipline, so a ``--jobs N`` ledger is content-identical
+    to a sequential one).
     """
     from ..obs.metrics import MetricsRegistry, set_registry
 
     snapshot: "dict[str, Any] | None" = None
     if record_metrics:
         set_registry(MetricsRegistry())
-    runs = _config_runs(seed, config, kinds, policy, record_metrics, backend)
+    with runlog.worker_scope(runlog_payload, task=config.name) as rl:
+        runs = _config_runs(
+            seed, config, kinds, policy, record_metrics, backend
+        )
+    events = rl.events if rl is not None else []
     if record_metrics:
         snapshot = get_registry().to_json()
-    return runs, snapshot
+    return runs, snapshot, events
 
 
 def run_campaign(
@@ -443,33 +479,47 @@ def run_campaign(
         FaultKind(k) if isinstance(k, str) else k
         for k in (kinds if kinds is not None else tuple(FaultKind))
     ]
+    # Run identity: semantic parameters only — never ``jobs``, so a
+    # parallel campaign shares the sequential run's ledger.
+    params = {
+        "seed": seed,
+        "configs": [c.name for c in chosen],
+        "kinds": [k.value for k in chosen_kinds],
+        "backend": backend,
+    }
     runs: list[CampaignRun] = []
-    if jobs is not None and jobs > 1 and len(chosen) > 1:
-        from concurrent.futures import ProcessPoolExecutor
+    with runlog.run_scope("campaign", params) as rl:
+        if jobs is not None and jobs > 1 and len(chosen) > 1:
+            from concurrent.futures import ProcessPoolExecutor
 
-        kinds_t = tuple(chosen_kinds)
-        with ProcessPoolExecutor(
-            max_workers=min(jobs, len(chosen))
-        ) as pool:
-            futures = [
-                pool.submit(
-                    _campaign_worker, seed, config, kinds_t, policy,
-                    record_metrics, backend,
-                )
-                for config in chosen
-            ]
-            # Deterministic: collect in submission (= config) order.
-            for fut in futures:
-                config_runs, snapshot = fut.result()
-                runs.extend(config_runs)
-                if snapshot is not None:
-                    get_registry().merge_json(snapshot)
-    else:
-        for config in chosen:
-            runs.extend(
-                _config_runs(
-                    seed, config, chosen_kinds, policy, record_metrics,
-                    backend,
-                )
-            )
+            kinds_t = tuple(chosen_kinds)
+            payload = runlog.worker_payload()
+            with ProcessPoolExecutor(
+                max_workers=min(jobs, len(chosen))
+            ) as pool:
+                futures = [
+                    pool.submit(
+                        _campaign_worker, seed, config, kinds_t, policy,
+                        record_metrics, backend, payload,
+                    )
+                    for config in chosen
+                ]
+                # Deterministic: collect in submission (= config) order;
+                # ledgers and registries merge under the same rule.
+                for fut in futures:
+                    config_runs, snapshot, events = fut.result()
+                    runs.extend(config_runs)
+                    if snapshot is not None:
+                        get_registry().merge_json(snapshot)
+                    if rl is not None:
+                        rl.absorb(events)
+        else:
+            for config in chosen:
+                with runlog.task_scope(config.name):
+                    runs.extend(
+                        _config_runs(
+                            seed, config, chosen_kinds, policy,
+                            record_metrics, backend,
+                        )
+                    )
     return CampaignResult(seed=seed, runs=runs)

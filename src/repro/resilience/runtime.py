@@ -48,6 +48,7 @@ from ..core.graph import DependenceGraph, NodeId, NodeKind, PortRef
 from ..core.gsets import GSet, GSetPlan, make_linear_gsets, make_mesh_gsets, schedule_gsets
 from ..core.partitioner import PartitionedImplementation
 from ..core.semiring import BOOLEAN, Semiring
+from ..obs import runlog
 from ..obs.metrics import get_registry
 from ..obs.tracing import stage_span
 from .checkpoint import CheckpointStore, RecoveryPlan
@@ -361,12 +362,17 @@ def run_resilient(
     """
     from ..arrays.vector_sim import get_backend, resolve_backend
 
-    simulate = get_backend(resolve_backend(backend))
+    backend_name = resolve_backend(backend)
+    simulate = get_backend(backend_name)
 
     if reschedule is None:
         reschedule = lambda p: schedule_gsets(p, "vertical")  # noqa: E731
     desc = description or (
         f"{dg.name} -> {plan.geometry}(m={plan.m}) resilient"
+    )
+    runlog.emit(
+        "backend", backend=backend_name, design=desc,
+        geometry=plan.geometry, m=plan.m,
     )
     faults = list(faults)
     topo_index = {nid: i for i, nid in enumerate(dg.topological_order())}
@@ -403,6 +409,7 @@ def run_resilient(
     i = 0
     attempts_this_set = 0
     implicated_history: list[set[Hashable]] = []
+    logged_specs: set[int] = set()
 
     with stage_span(
         "resilience.run", graph=dg.name, geometry=geometry, m=plan.m,
@@ -467,6 +474,14 @@ def run_resilient(
                 )
             attempts_this_set += 1
             attempt_end = set_start + layout.comp_time
+            for f in injector.triggered_specs:
+                if id(f) not in logged_specs:
+                    logged_specs.add(id(f))
+                    runlog.emit(
+                        "fault_inject", design=desc, kind=f.kind.value,
+                        fault=f.describe(), sid=repr(s.sid),
+                        attempt=attempts_this_set,
+                    )
 
             try:
                 check_watchdog(
@@ -485,6 +500,12 @@ def run_resilient(
                 detections.append(fd.event)
                 detected_spec_ids.update(
                     id(f) for f in injector.triggered_specs
+                )
+                runlog.emit(
+                    "fault_detect", design=desc, reason=fd.reason,
+                    sid=repr(s.sid), attempt=attempts_this_set,
+                    nodes=len(fd.nodes),
+                    cells=sorted(map(repr, fd.cells)),
                 )
                 timeline.append(
                     TimelineEvent(
@@ -532,6 +553,17 @@ def run_resilient(
                             f"m={cur_m}",
                         )
                     )
+                    runlog.emit(
+                        "repartition", design=desc, sid=repr(s.sid),
+                        retired=sorted(map(repr, diagnosed)),
+                        new_m=cur_m,
+                    )
+                    runlog.emit(
+                        "checkpoint", action="restore", design=desc,
+                        sid=repr(s.sid),
+                        committed=len(store.committed_nodes),
+                        words=store.words_written,
+                    )
                     clock = rep_end
                     attempts_this_set = 0
                     implicated_history.clear()
@@ -548,6 +580,11 @@ def run_resilient(
             store.commit(
                 s.sid, layout.members, parked,
                 {nid: fires[nid][1] for nid in layout.members},
+            )
+            runlog.emit(
+                "checkpoint", action="save", design=desc,
+                sid=repr(s.sid), members=len(layout.members),
+                words=len(parked),
             )
             timeline.append(
                 TimelineEvent(
@@ -577,6 +614,16 @@ def run_resilient(
         oracle_ok = all(
             bool(outputs[nid] == oracle[nid]) for nid in dg.outputs
         )
+    runlog.emit(
+        "fault_recover", design=desc, injected=len(injected),
+        detected=detected_count, retries=retries,
+        repartitions=repartitions, final_m=cur_m,
+        total_cycles=clock, overhead_cycles=clock - healthy_cycles,
+    )
+    runlog.emit(
+        "oracle", design=desc, checked=bool(verify), ok=oracle_ok,
+        outputs=len(dg.outputs),
+    )
 
     result = RecoveryResult(
         description=desc,

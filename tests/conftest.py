@@ -2,11 +2,25 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.algorithms.transitive_closure import TC_STAGES, tc_regular
 from repro.core.ggraph import GGraph, group_by_columns
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _runlog_sandbox(tmp_path_factory: pytest.TempPathFactory):
+    """Keep run ledgers written by tests out of the repo's ``runs/`` dir."""
+    if "REPRO_RUNLOG_DIR" not in os.environ:
+        d = tmp_path_factory.mktemp("runlog")
+        os.environ["REPRO_RUNLOG_DIR"] = str(d)
+        yield
+        os.environ.pop("REPRO_RUNLOG_DIR", None)
+    else:
+        yield
 
 
 @pytest.fixture(scope="session")

@@ -329,3 +329,31 @@ class TestNewMetricFindings:
         out = capsys.readouterr().out
         assert "NEW METRIC F18.wall_vector_s [wall_time]" in out
         assert "no regressions" in out
+
+
+class TestRunIdStamping:
+    def test_make_record_carries_run_id(self):
+        rec = perf.make_record(
+            "F20", {"wall_time_s": 0.5}, run_id="bench-abc123def456"
+        )
+        assert rec["run_id"] == "bench-abc123def456"
+        assert perf.make_record("F20", {})["run_id"] is None
+
+    def test_rollup_trajectory_keeps_run_id(self):
+        records = [
+            perf.make_record("F20", {"x": 1.0}, run_id="bench-aaa"),
+            perf.make_record("F20", {"x": 2.0}, run_id=None),
+        ]
+        traj = perf.rollup(records)
+        run_ids = [r["run_id"] for r in traj["experiments"]["F20"]["runs"]]
+        assert run_ids == ["bench-aaa", None]
+
+    def test_format_report_names_source_ledgers(self):
+        base = {"F20": perf.make_record("F20", {"x": 1.0})}
+        cur = {"F20": perf.make_record("F20", {"x": 1.0},
+                                       run_id="bench-abc")}
+        text = perf.format_report(base, cur, [])
+        assert "run ledger" in text and "bench-abc" in text
+        # No ledger -> no dangling header line.
+        text = perf.format_report(base, base, [])
+        assert "run ledger" not in text

@@ -185,3 +185,50 @@ class TestPipelineIntegration:
         run_chained_instances(dg, ep, envs, delta)
         names = {s.name for s in t.spans}
         assert {"chain.replicate_graph", "chain.chain_plans", "sim.simulate"} <= names
+
+
+class TestTracedRun:
+    def test_normal_exit_returns_tracer_without_flush(self, tmp_path) -> None:
+        from repro.obs import traced_run
+
+        out = tmp_path / "t.json"
+        with traced_run(out) as tracer:
+            with stage_span("stage.work"):
+                pass
+        assert get_tracer() is None
+        assert len(tracer.find_spans("stage.work")) == 1
+        # Normal exit leaves export to the caller.
+        assert not out.exists()
+
+    def test_crash_flushes_valid_partial_trace(self, tmp_path) -> None:
+        from repro.obs import traced_run
+
+        out = tmp_path / "crash.json"
+        with pytest.raises(RuntimeError, match="kaboom"):
+            with traced_run(out):
+                with stage_span("stage.before"):
+                    pass
+                with stage_span("stage.during"):
+                    raise RuntimeError("kaboom")
+        assert get_tracer() is None  # uninstalled during unwind
+        doc = json.loads(out.read_text())
+        names = [ev["name"] for ev in doc["traceEvents"]]
+        # Every stage up to the failure survived, spans are closed
+        # (complete "X" events), and the terminal error marker is there.
+        assert "stage.before" in names
+        assert "stage.during" in names
+        assert "trace.error" in names
+        err = next(
+            ev for ev in doc["traceEvents"] if ev["name"] == "trace.error"
+        )
+        assert err["ph"] == "i"
+        assert err["args"]["error"] == "RuntimeError"
+        assert err["args"]["message"] == "kaboom"
+
+    def test_crash_without_path_still_uninstalls(self) -> None:
+        from repro.obs import traced_run
+
+        with pytest.raises(ValueError):
+            with traced_run():
+                raise ValueError("x")
+        assert get_tracer() is None

@@ -1,0 +1,76 @@
+"""Satellite: a ``--jobs 2`` campaign ledger must match the sequential one.
+
+Event content and order must be byte-identical modulo the wall-clock
+fields (``ts`` / ``dur_s`` / ``compile_s``), the two runs must share one
+run ID (parallelism degree is not part of the run's identity), and
+``repro obs verify`` must find both ledgers clean.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import runlog
+from repro.obs.metrics import MetricsRegistry, get_registry, set_registry
+from repro.resilience import run_campaign
+
+CONFIGS = ["linear-n9-m3", "mesh-n8-m4"]
+
+
+@pytest.fixture()
+def _quiet_registry():
+    previous = get_registry()
+    set_registry(MetricsRegistry())
+    yield
+    set_registry(previous)
+
+
+def _campaign_ledger(tmp_path, monkeypatch, name: str, jobs):
+    d = tmp_path / name
+    monkeypatch.setenv("REPRO_RUNLOG_DIR", str(d))
+    result = run_campaign(
+        seed=0, configs=CONFIGS, jobs=jobs, record_metrics=False
+    )
+    assert result.ok
+    paths = sorted(d.glob("*.jsonl"))
+    assert len(paths) == 1, "one campaign -> one ledger file"
+    events, problems = runlog.read_ledger(paths[0])
+    assert problems == []
+    return paths[0], events
+
+
+def test_parallel_ledger_matches_sequential(
+    tmp_path, monkeypatch, _quiet_registry
+) -> None:
+    seq_path, seq = _campaign_ledger(tmp_path, monkeypatch, "seq", None)
+    par_path, par = _campaign_ledger(tmp_path, monkeypatch, "par", 2)
+
+    # Same semantic parameters -> same run ID, jobs notwithstanding.
+    assert seq_path.name == par_path.name
+
+    # Integrity-clean on both sides (the `repro obs verify` check).
+    assert runlog.verify_ledger(seq) == []
+    assert runlog.verify_ledger(par) == []
+
+    # Content-identical modulo wall-clock fields — same events, same
+    # order, same task attribution, same payloads.
+    assert runlog.strip_nondeterministic(par) == (
+        runlog.strip_nondeterministic(seq)
+    )
+
+
+def test_campaign_ledger_covers_pipeline_events(
+    tmp_path, monkeypatch, _quiet_registry
+) -> None:
+    _, events = _campaign_ledger(tmp_path, monkeypatch, "cov", 2)
+    kinds = {ev["event"] for ev in events}
+    assert {
+        "run_start", "run_end", "stage_start", "stage_end", "lint",
+        "plan_cache", "backend", "fault_inject", "fault_detect",
+        "fault_recover", "checkpoint", "repartition", "oracle",
+    } <= kinds
+    # Every worker's events landed under the one campaign run ID.
+    run_ids = {ev["run"] for ev in events}
+    assert len(run_ids) == 1
+    tasks = {ev["task"] for ev in events if ev["task"] is not None}
+    assert tasks == set(CONFIGS)

@@ -224,3 +224,67 @@ def test_faults_backend_vector(capsys) -> None:
     out = run_cli(capsys, "faults", "--config", "linear-n9-m3",
                   "--backend", "vector")
     assert "3/3 runs ok" in out
+
+
+def test_faults_writes_run_ledger(capsys, tmp_path, monkeypatch) -> None:
+    monkeypatch.setenv("REPRO_RUNLOG_DIR", str(tmp_path))
+    run_cli(capsys, "faults", "--config", "linear-n9-m3")
+    ledgers = list(tmp_path.glob("faults-*.jsonl"))
+    assert len(ledgers) == 1
+
+    out = run_cli(capsys, "obs", "list", "--dir", str(tmp_path))
+    assert "faults-" in out and "True" in out
+
+    out = run_cli(capsys, "obs", "show", "--dir", str(tmp_path))
+    for marker in ("run_start", "lint", "plan_cache", "backend",
+                   "fault_inject", "fault_detect", "fault_recover",
+                   "checkpoint", "oracle", "run_end"):
+        assert marker in out, marker
+
+    out = run_cli(capsys, "obs", "verify", "--dir", str(tmp_path))
+    assert "1/1 ledger(s) clean" in out
+
+
+def test_obs_diff_same_run_identical(capsys, tmp_path, monkeypatch) -> None:
+    monkeypatch.setenv("REPRO_RUNLOG_DIR", str(tmp_path))
+    run_cli(capsys, "faults", "--config", "linear-n9-m3")
+    run_id = next(tmp_path.glob("*.jsonl")).stem
+    out = run_cli(capsys, "obs", "diff", run_id, run_id,
+                  "--dir", str(tmp_path))
+    assert "identical" in out
+
+
+def test_obs_show_empty_dir_exits_two(tmp_path) -> None:
+    assert main(["obs", "show", "--dir", str(tmp_path / "void")]) == 2
+
+
+def test_obs_verify_flags_tampered_ledger(capsys, tmp_path,
+                                          monkeypatch) -> None:
+    monkeypatch.setenv("REPRO_RUNLOG_DIR", str(tmp_path))
+    run_cli(capsys, "faults", "--config", "linear-n9-m3")
+    path = next(tmp_path.glob("*.jsonl"))
+    lines = path.read_text().splitlines()
+    path.write_text("\n".join(lines[:-1]) + "\n")  # drop run_end
+    assert main(["obs", "verify", "--dir", str(tmp_path)]) == 1
+    err = capsys.readouterr()
+    assert "FAIL" in err.out
+
+
+def test_runlog_disabled_leaves_no_ledger(capsys, tmp_path,
+                                          monkeypatch) -> None:
+    monkeypatch.setenv("REPRO_RUNLOG_DIR", str(tmp_path))
+    monkeypatch.setenv("REPRO_RUNLOG", "0")
+    run_cli(capsys, "faults", "--config", "linear-n9-m3")
+    assert list(tmp_path.glob("*.jsonl")) == []
+
+
+def test_dashboard_includes_run_ledger_panel(capsys, tmp_path,
+                                             monkeypatch) -> None:
+    monkeypatch.setenv("REPRO_RUNLOG_DIR", str(tmp_path))
+    run_cli(capsys, "faults", "--config", "linear-n9-m3")
+    out_html = tmp_path / "dash.html"
+    run_cli(capsys, "dashboard", "--n", "6", "--m", "2",
+            "--out", str(out_html))
+    html = out_html.read_text()
+    assert "Run ledger (recent runs)" in html
+    assert "faults-" in html
