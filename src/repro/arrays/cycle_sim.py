@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from fractions import Fraction
+from time import perf_counter
 from typing import TYPE_CHECKING, Any, Hashable, Mapping
 
 import numpy as np
@@ -30,6 +31,7 @@ import numpy as np
 from ..core.evaluate import OPCODE_SEMANTICS
 from ..core.graph import DependenceGraph, GraphError, NodeId, NodeKind
 from ..core.semiring import BOOLEAN, Semiring
+from ..obs.profile import kernel_profiler
 from ..obs.tracing import stage_span
 from .plan import ExecutionPlan
 
@@ -247,6 +249,9 @@ def simulate(
     useful = 0
 
     region_of = plan.region_of
+    # Kernel profiling follows the probe/inject zero-overhead contract:
+    # one ``is not None`` check per OP firing when disabled.
+    kprof = kernel_profiler()
 
     def check_operand(nid: NodeId, role: str, ref: tuple, cell, t: int) -> None:
         nonlocal memory_reads
@@ -333,7 +338,15 @@ def simulate(
                 fn = OPCODE_SEMANTICS[d["opcode"]]
                 roles = {r: values[ref[0]][ref[1]] for r, ref in operands.items()}
                 table = dict(roles)
-                table["out"] = fn(semiring, **roles)
+                if kprof is None:
+                    table["out"] = fn(semiring, **roles)
+                else:
+                    t0 = perf_counter()
+                    table["out"] = fn(semiring, **roles)
+                    kprof.record(
+                        d["opcode"], 1, perf_counter() - t0,
+                        backend="reference",
+                    )
                 values[nid] = table
             else:  # PASS / DELAY
                 (ref,) = operands.values()

@@ -33,6 +33,7 @@ from typing import Hashable, Sequence
 from ..core.ggraph import GGraph
 from ..core.graph import NodeId
 from ..core.gsets import GSet, GSetPlan
+from ..obs.tracing import stage_span
 from .topology import ArrayTopology, fixed_grid_topology, linear_topology, mesh_topology
 
 __all__ = [
@@ -137,37 +138,44 @@ def partitioned_plan(
     fires: dict[NodeId, tuple[Hashable, int]] = {}
     region_of: dict[NodeId, tuple] = {}
     set_starts: list[tuple[tuple, int]] = []
-    t = start
-    stalls = 0
-    for s in order:
-        # Earliest start honouring cross-set operands (memory round trip:
-        # producer fire + 2 <= consumer fire).
-        earliest = t
-        for gid, cell in zip(s.gids, s.cells):
-            offset = skew(cell)
-            for j, nid in enumerate(gg.gnodes[gid].members):
-                for ref in dg.operands(nid).values():
-                    prior = fires.get(ref[0])
-                    if prior is not None and region_of.get(ref[0]) != s.sid:
-                        earliest = max(earliest, prior[1] + 2 - offset - j)
-        stalls += earliest - t
-        t = earliest
-        set_starts.append((s.sid, t))
-        for gid, cell in zip(s.gids, s.cells):
-            base = t + skew(cell)
-            for j, nid in enumerate(gg.gnodes[gid].members):
-                fires[nid] = (cell, base + j)
-                region_of[nid] = s.sid
-        t += s.comp_time(gg)
-    ep = ExecutionPlan(
-        topology=topo,
-        fires=fires,
-        description=f"partitioned {plan.geometry} m={plan.m} ({len(order)} G-sets)",
-        set_starts=set_starts,
-        region_of=region_of,
-        stall_cycles=stalls,
-    )
-    ep.validate_exclusive()
+    with stage_span(
+        "plan.partitioned", geometry=plan.geometry, m=plan.m,
+        gsets=len(order),
+    ):
+        t = start
+        stalls = 0
+        for s in order:
+            # Earliest start honouring cross-set operands (memory round
+            # trip: producer fire + 2 <= consumer fire).
+            earliest = t
+            for gid, cell in zip(s.gids, s.cells):
+                offset = skew(cell)
+                for j, nid in enumerate(gg.gnodes[gid].members):
+                    for ref in dg.operands(nid).values():
+                        prior = fires.get(ref[0])
+                        if prior is not None and region_of.get(ref[0]) != s.sid:
+                            earliest = max(earliest, prior[1] + 2 - offset - j)
+            stalls += earliest - t
+            t = earliest
+            set_starts.append((s.sid, t))
+            for gid, cell in zip(s.gids, s.cells):
+                base = t + skew(cell)
+                for j, nid in enumerate(gg.gnodes[gid].members):
+                    fires[nid] = (cell, base + j)
+                    region_of[nid] = s.sid
+            t += s.comp_time(gg)
+        ep = ExecutionPlan(
+            topology=topo,
+            fires=fires,
+            description=(
+                f"partitioned {plan.geometry} m={plan.m} "
+                f"({len(order)} G-sets)"
+            ),
+            set_starts=set_starts,
+            region_of=region_of,
+            stall_cycles=stalls,
+        )
+        ep.validate_exclusive()
     return ep
 
 

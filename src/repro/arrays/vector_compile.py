@@ -37,7 +37,7 @@ from __future__ import annotations
 import hashlib
 import time
 from dataclasses import dataclass
-from typing import Any, Hashable, Mapping
+from typing import TYPE_CHECKING, Any, Hashable, Mapping
 
 import numpy as np
 
@@ -46,8 +46,12 @@ from ..core.graph import DependenceGraph, GraphError, NodeId, NodeKind
 from ..core.semiring import Semiring
 from ..obs import runlog
 from ..obs.metrics import get_registry
+from ..obs.tracing import stage_span
 from .cycle_sim import SimResult, SimulationError, Violation
 from .plan import ExecutionPlan
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.profile import KernelProfiler
 
 __all__ = [
     "VECTOR_OPCODES",
@@ -85,6 +89,9 @@ class VectorStep:
     out_idx: np.ndarray
     role_names: tuple[str, ...]
     role_idx: tuple[np.ndarray, ...]
+    #: dependence depth of the batch (1 = reads only inputs/constants);
+    #: the kernel profiler keys its timings by ``(depth, opcode)``.
+    depth: int = 0
 
     @property
     def width(self) -> int:
@@ -153,9 +160,17 @@ class CompiledPlan:
             raise GraphError(f"no value supplied for input {missing[1]!r}")
 
     def replay(
-        self, inputs: Mapping[NodeId, Any], strict: bool = False
+        self,
+        inputs: Mapping[NodeId, Any],
+        strict: bool = False,
+        kprof: "KernelProfiler | None" = None,
     ) -> SimResult:
-        """Run the compiled program against fresh input values."""
+        """Run the compiled program against fresh input values.
+
+        ``kprof`` (a :class:`~repro.obs.profile.KernelProfiler`) times
+        each batch step; when ``None`` (the default) the hot loop is
+        exactly the unprofiled one — zero overhead when off.
+        """
         self._raise_entry_errors(inputs, strict)
         vals = np.empty(self.n_slots, dtype=self.dtype)
         if self.const_slots.size:
@@ -165,13 +180,30 @@ class CompiledPlan:
                 [inputs[nid] for nid in self.input_ids], dtype=self.dtype
             )
         sr = self.semiring
-        for step in self.steps:
-            fn = OPCODE_SEMANTICS[step.opcode]
-            roles = {
-                r: vals[ix]
-                for r, ix in zip(step.role_names, step.role_idx)
-            }
-            vals[step.out_idx] = fn(sr, **roles)
+        if kprof is None:
+            for step in self.steps:
+                fn = OPCODE_SEMANTICS[step.opcode]
+                roles = {
+                    r: vals[ix]
+                    for r, ix in zip(step.role_names, step.role_idx)
+                }
+                vals[step.out_idx] = fn(sr, **roles)
+        else:
+            for step in self.steps:
+                fn = OPCODE_SEMANTICS[step.opcode]
+                roles = {
+                    r: vals[ix]
+                    for r, ix in zip(step.role_names, step.role_idx)
+                }
+                t0 = time.perf_counter()
+                vals[step.out_idx] = fn(sr, **roles)
+                kprof.record(
+                    step.opcode,
+                    step.width,
+                    time.perf_counter() - t0,
+                    depth=step.depth,
+                    backend="vector",
+                )
         outputs: dict[NodeId, Any] = {
             nid: vals[slot]
             for nid, slot in zip(self.output_ids, self.output_slots)
@@ -366,8 +398,9 @@ def compile_plan(
             role_idx=tuple(
                 np.asarray(g.roles[r], dtype=np.int64) for r in g.role_order
             ),
+            depth=key[0],
         )
-        for _, g in sorted(groups.items(), key=lambda kv: kv[0][0])
+        for key, g in sorted(groups.items(), key=lambda kv: kv[0][0])
     )
     output_ids = tuple(dg.outputs)
     output_slots = tuple(resolve((nid, "out")) for nid in output_ids)
@@ -525,7 +558,8 @@ def get_compiled(
         "repro_plan_cache_misses_total",
         "Compiled-plan cache misses by experiment (each is one compile)",
     ).inc(experiment=experiment)
-    compiled = compile_plan(plan, dg, semiring)
+    with stage_span("sim.compile", graph=dg.name):
+        compiled = compile_plan(plan, dg, semiring)
     compiled.fingerprint = fp
     if len(_CACHE) >= _CACHE_MAX:
         _CACHE.pop(next(iter(_CACHE)))

@@ -35,6 +35,7 @@ from ..core.graph import DependenceGraph, NodeId
 from ..core.semiring import BOOLEAN, Semiring
 from ..obs import runlog
 from ..obs.metrics import get_registry
+from ..obs.profile import kernel_profiler
 from ..obs.tracing import stage_span
 from .cycle_sim import SimResult, simulate
 from .plan import ExecutionPlan
@@ -95,7 +96,9 @@ def simulate_vector(
         "sim.vector", graph=dg.name, slots=compiled.n_slots,
         steps=len(compiled.steps), cells=compiled.cells,
     ) as sp:
-        result = compiled.replay(inputs, strict=strict)
+        result = compiled.replay(
+            inputs, strict=strict, kprof=kernel_profiler()
+        )
         sp.tag("makespan", result.makespan)
         sp.tag("violations", len(result.violations))
         sp.tag("memory_words", result.memory_words)

@@ -18,6 +18,9 @@ Examples::
     python -m repro perfcheck --baseline benchmarks/perf_baseline.json \\
         --current benchmarks/out/history.jsonl
     python -m repro dashboard --out dash.html --n 9 --m 3
+    python -m repro profile --experiment F18 --backend vector \\
+        --flame-out flame.svg
+    python -m repro profile --n 9 --m 3 --json --out profile.json
 """
 
 from __future__ import annotations
@@ -203,6 +206,53 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--update-baseline", action="store_true",
                    help="instead of comparing, rewrite --baseline from the "
                         "latest records of --current")
+
+    s = sub.add_parser(
+        "profile",
+        help="profile a run: nested phase self/cumulative times, "
+             "per-kernel timings, critical-path hotspots, and an SVG "
+             "flamegraph (see docs/observability.md)",
+    )
+    s.add_argument("--experiment", metavar="EXP", default=None,
+                   help="profile one shipped experiment (e.g. F18); "
+                        "includes per-config critical paths for the "
+                        "F18/F19 sweeps")
+    s.add_argument("--n", type=int, default=None,
+                   help="profile one ad-hoc partitioned design instead "
+                        "of an experiment")
+    s.add_argument("--m", type=int, default=4)
+    s.add_argument("--geometry", choices=("linear", "mesh"), default="linear")
+    s.add_argument("--policy", default="vertical")
+    s.add_argument("--seed", type=int, default=0)
+    s.add_argument("--backend", choices=("reference", "vector"), default=None,
+                   help="simulator backend to profile (default: "
+                        "REPRO_SIM_BACKEND or reference)")
+    s.add_argument("--top", type=int, default=10, metavar="K",
+                   help="rows per table: phases, kernels, hotspots "
+                        "(default: 10)")
+    s.add_argument("--json", action="store_true",
+                   help="emit the versioned profile JSON document "
+                        "instead of text")
+    s.add_argument("--out", metavar="FILE", default=None,
+                   help="write the report to FILE instead of stdout")
+    s.add_argument("--flame-out", metavar="FILE", default=None,
+                   help="write a self-contained SVG flamegraph of the "
+                        "phase tree")
+    s.add_argument("--folded-out", metavar="FILE", default=None,
+                   help="write the phase tree in folded-stack format "
+                        "(flamegraph.pl / speedscope / inferno input)")
+    s.add_argument("--record", nargs="?", metavar="FILE", default=None,
+                   const="benchmarks/out/history.jsonl",
+                   help="append a '<exp>:profile' record of per-phase "
+                        "self-times to the perf history (default FILE: "
+                        "benchmarks/out/history.jsonl); perfcheck uses "
+                        "it to blame wall-time regressions")
+    s.add_argument("--from-run", metavar="RUN_ID", default=None,
+                   help="rebuild the phase profile from a past run's "
+                        "ledger instead of running anything")
+    s.add_argument("--dir", default=None, metavar="DIR",
+                   help="with --from-run: ledger directory (default: "
+                        "REPRO_RUNLOG_DIR or ./runs)")
 
     s = sub.add_parser(
         "obs",
@@ -737,6 +787,178 @@ def _cmd_perfcheck(args) -> int:
     return 1 if regressions else 0
 
 
+def _profile_record_metrics(doc, phases) -> dict:
+    """Flat ``profile_*`` metrics for a ``<exp>:profile`` history record.
+
+    One ``profile_<path>_self_s`` metric per phase (path sanitized to a
+    metric-name-safe token) plus ``profile_wall_s`` — the shape
+    :func:`repro.obs.perf.blame_lines` reads back to name the phase
+    that moved most under a wall-time regression.
+    """
+    import re
+
+    metrics = {"profile_wall_s": float(doc["wall_s"])}
+    for path, node in phases.walk():
+        if len(path) == 1:  # the root is profile_wall_s already
+            continue
+        key = "_".join(
+            re.sub(r"[^0-9A-Za-z]+", "_", p).strip("_") for p in path[1:]
+        )
+        metrics[f"profile_{key}_self_s"] = round(node.self_s, 9)
+    return metrics
+
+
+def _cmd_profile(args) -> int:
+    import json
+    from time import perf_counter
+
+    from .obs import profile as prof
+    from .obs.tracing import stage_span, traced_run
+
+    modes = sum(
+        1 for flag in (args.experiment, args.from_run, args.n) if flag is not None
+    )
+    if modes > 1:
+        print("profile: --experiment, --n and --from-run are mutually "
+              "exclusive", file=sys.stderr)
+        return 2
+
+    base_id = None  # history key stem for --record
+    nm = (None, None)
+    if args.from_run is not None:
+        from .obs import runlog
+
+        path = runlog.ledger_path(args.from_run, args.dir)
+        try:
+            events, problems = runlog.read_ledger(path)
+        except OSError as exc:
+            print(f"profile: cannot read {path}: {exc}", file=sys.stderr)
+            return 1
+        if problems:
+            print(f"profile: {len(problems)} corrupt line(s) skipped",
+                  file=sys.stderr)
+        phases = prof.profile_from_runlog(events, root_name=args.from_run)
+        doc = prof.build_profile_document(phases, wall_s=phases.total_s)
+        base_id = args.from_run
+        ok = True
+    elif args.experiment is not None:
+        from .arrays.vector_sim import resolve_backend, set_default_backend
+        from .experiments import EXPERIMENTS
+
+        if args.experiment not in EXPERIMENTS:
+            print(f"profile: unknown experiment {args.experiment!r}; "
+                  f"choose from {', '.join(EXPERIMENTS)}", file=sys.stderr)
+            return 2
+        backend = resolve_backend(args.backend)
+        previous = set_default_backend(backend)
+        try:
+            with traced_run() as tracer, prof.kernel_profiling() as kp:
+                t0 = perf_counter()
+                with stage_span(
+                    f"experiment.{args.experiment}", backend=backend
+                ):
+                    EXPERIMENTS[args.experiment].run()
+                wall = perf_counter() - t0
+        finally:
+            set_default_backend(previous)
+        phases = prof.build_phase_tree(tracer.spans, wall_s=wall)
+        critical = [
+            prof.config_critical_report(g, n, m, backend=backend,
+                                        top=args.top)
+            for g, n, m in prof.experiment_configs(args.experiment)
+        ]
+        doc = prof.build_profile_document(
+            phases, wall, kernels=kp.summary(), critical_paths=critical,
+            experiment=args.experiment, backend=backend,
+        )
+        base_id = args.experiment
+        ok = True
+    else:
+        from .algorithms.transitive_closure import make_inputs
+        from .algorithms.warshall import random_adjacency, warshall
+        from .arrays.vector_sim import dispatch_simulate, resolve_backend
+        from .core.partitioner import partition_transitive_closure
+
+        n = args.n if args.n is not None else 12
+        backend = resolve_backend(args.backend)
+        with traced_run() as tracer, prof.kernel_profiling() as kp:
+            t0 = perf_counter()
+            with stage_span(
+                "profile.config", n=n, m=args.m, geometry=args.geometry
+            ):
+                impl = partition_transitive_closure(
+                    n=n, m=args.m, geometry=args.geometry,
+                    policy=args.policy,
+                )
+                a = random_adjacency(n, seed=args.seed)
+                res = dispatch_simulate(
+                    impl.exec_plan, impl.dg, make_inputs(a),
+                    backend=backend,
+                )
+            wall = perf_counter() - t0
+        ok = bool(np.array_equal(res.output_matrix(n), warshall(a)))
+        cp = prof.critical_path(impl.exec_plan, impl.dg)
+        config = {
+            "n": n, "m": args.m, "geometry": args.geometry,
+            "policy": args.policy, "seed": args.seed, "correct": ok,
+        }
+        critical = [{
+            "config": f"{args.geometry}-n{n}-m{args.m}",
+            "geometry": args.geometry, "n": n, "m": args.m,
+            "makespan": res.makespan,
+            "start_cycle": cp.start_cycle,
+            "end_cycle": cp.end_cycle,
+            "length": cp.length,
+            "matches_makespan": cp.length == res.makespan,
+            "busy": res.busy, "useful": res.useful,
+            "fired_nodes": len(impl.exec_plan.fires),
+            "path_nodes": len(cp.steps),
+            "zero_slack_nodes": cp.zero_slack_nodes,
+            "hotspots": prof.attribute_makespan(cp, top=args.top),
+        }]
+        phases = prof.build_phase_tree(tracer.spans, wall_s=wall)
+        doc = prof.build_profile_document(
+            phases, wall, kernels=kp.summary(), critical_paths=critical,
+            config=config, backend=backend,
+        )
+        base_id = f"{args.geometry}-n{n}-m{args.m}"
+        nm = (n, args.m)
+
+    body = (
+        json.dumps(doc, indent=2, sort_keys=True) if args.json
+        else prof.render_profile_text(doc, top=args.top)
+    )
+    if args.out:
+        _write_text(args.out, body + "\n")
+        print(f"profile: wrote {'json' if args.json else 'text'} report "
+              f"to {args.out}")
+    else:
+        print(body)
+
+    if args.flame_out:
+        from .viz import svg_flamegraph
+
+        title = f"repro profile: {base_id}" if base_id else "repro profile"
+        _write_text(args.flame_out, svg_flamegraph(doc["phases"], title=title))
+        print(f"profile: wrote flamegraph to {args.flame_out}")
+    if args.folded_out:
+        folded = prof.to_folded(phases)
+        _write_text(args.folded_out, "\n".join(folded) + "\n")
+        print(f"profile: wrote {len(folded)} folded stack(s) to "
+              f"{args.folded_out}")
+    if args.record:
+        from .obs import perf
+
+        rec = perf.make_record(
+            (base_id or "config") + perf.PROFILE_SUFFIX,
+            _profile_record_metrics(doc, phases),
+            title="phase profile", n=nm[0], m=nm[1],
+        )
+        perf.append_history(args.record, rec)
+        print(f"profile: appended {rec['exp_id']} record to {args.record}")
+    return 0 if ok else 1
+
+
 def _cmd_obs(args) -> int:
     from .obs import runlog
 
@@ -766,14 +988,14 @@ def _cmd_obs(args) -> int:
                     f"obs: no ledgers under {runlog.runlog_dir(args.dir)}",
                     file=sys.stderr,
                 )
-                return 2
+                return 1
             run_id = summaries[0]["run"]
         path = runlog.ledger_path(run_id, args.dir)
         try:
             events, problems = runlog.read_ledger(path)
         except OSError as exc:
             print(f"obs: cannot read {path}: {exc}", file=sys.stderr)
-            return 2
+            return 1
         print(runlog.format_show(events))
         if problems:
             print(f"obs: {len(problems)} corrupt line(s) skipped",
@@ -788,7 +1010,7 @@ def _cmd_obs(args) -> int:
                 events, _problems = runlog.read_ledger(path)
             except OSError as exc:
                 print(f"obs: cannot read {path}: {exc}", file=sys.stderr)
-                return 2
+                return 1
             loaded.append(events)
         text, identical = runlog.format_diff(
             loaded[0], loaded[1], args.run_a, args.run_b
@@ -809,7 +1031,7 @@ def _cmd_obs(args) -> int:
     if not targets:
         print(f"obs: no ledgers under {runlog.runlog_dir(args.dir)}",
               file=sys.stderr)
-        return 2
+        return 1
     bad = 0
     for run_id, path in targets:
         try:
@@ -873,6 +1095,7 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "stats": _cmd_stats,
     "perfcheck": _cmd_perfcheck,
+    "profile": _cmd_profile,
     "obs": _cmd_obs,
     "dashboard": _cmd_dashboard,
 }
@@ -880,7 +1103,9 @@ _COMMANDS = {
 #: Verbs that open a run-ledger scope (see :mod:`repro.obs.runlog`).
 #: ``jobs`` is excluded from the run identity so ``--jobs N`` shares the
 #: sequential run's ledger.
-_LEDGER_VERBS = frozenset({"partition", "trace", "faults", "bench", "perfcheck"})
+_LEDGER_VERBS = frozenset(
+    {"partition", "trace", "faults", "bench", "perfcheck", "profile"}
+)
 
 
 def main(argv: Sequence[str] | None = None) -> int:

@@ -40,6 +40,8 @@ from ..arrays.plan import (
 from ..arrays.vector_sim import dispatch_simulate as simulate
 
 __all__ = [
+    "F18_CONFIGS",
+    "F19_CONFIGS",
     "fixed_array_census",
     "linear_sweep",
     "mesh_sweep",
@@ -47,6 +49,16 @@ __all__ = [
     "io_census",
     "backend_timing",
 ]
+
+#: The shipped ``(n, m)`` sweep points of F18 (linear) and F19 (mesh);
+#: hoisted so ``repro profile`` can rebuild the same plans for
+#: critical-path attribution.
+F18_CONFIGS: tuple[tuple[int, int], ...] = (
+    (9, 5), (11, 4), (11, 6), (14, 3), (14, 5), (15, 4),
+)
+F19_CONFIGS: tuple[tuple[int, int], ...] = (
+    (10, 4), (12, 4), (12, 9), (15, 9),
+)
 
 
 def fixed_array_census(ns=(5, 8, 11)) -> list[dict]:
@@ -85,7 +97,7 @@ def fixed_array_census(ns=(5, 8, 11)) -> list[dict]:
     return rows
 
 
-def linear_sweep(configs=((9, 5), (11, 4), (11, 6), (14, 3), (14, 5), (15, 4))) -> list[dict]:
+def linear_sweep(configs=F18_CONFIGS) -> list[dict]:
     """F18: the linear partitioned array, cycle-measured vs Sec. 4.2."""
     rows = []
     for n, m in configs:
@@ -114,7 +126,7 @@ def linear_sweep(configs=((9, 5), (11, 4), (11, 6), (14, 3), (14, 5), (15, 4))) 
     return rows
 
 
-def mesh_sweep(configs=((10, 4), (12, 4), (12, 9), (15, 9))) -> list[dict]:
+def mesh_sweep(configs=F19_CONFIGS) -> list[dict]:
     """F19: the two-dimensional partitioned array vs Sec. 4.2."""
     rows = []
     for n, m in configs:

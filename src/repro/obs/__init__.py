@@ -26,6 +26,11 @@ Three instruments, one package:
 * :mod:`repro.obs.dashboard` — the self-contained **HTML dashboard**
   (``python -m repro dashboard``); imported lazily (as
   ``repro.obs.dashboard``) because it pulls in the viz layer.
+* :mod:`repro.obs.profile` — the **hierarchical profiler**: phase trees
+  from tracer spans or ledger stage events, per-``(depth, opcode)``
+  kernel timings behind a probe-style zero-overhead seam, critical-path
+  makespan attribution, folded-stack/flamegraph export, and the
+  perfcheck "blame" inputs (``python -m repro profile``).
 
 CLI: ``python -m repro trace --n 12 --m 4 --trace-out t.json``,
 ``python -m repro stats --n 12 --m 4``, ``python -m repro perfcheck``,
@@ -64,6 +69,25 @@ from .probe import (  # noqa: F401
     Probe,
     RecordingProbe,
     SOURCE_CLASSES,
+)
+from .profile import (  # noqa: F401
+    KERNEL_BUCKETS,
+    PROFILE_SCHEMA_VERSION,
+    CriticalPath,
+    KernelProfiler,
+    PathStep,
+    ProfileNode,
+    attribute_makespan,
+    build_phase_tree,
+    build_profile_document,
+    critical_path,
+    install_kernel_profiler,
+    kernel_profiler,
+    kernel_profiling,
+    profile_from_runlog,
+    render_profile_text,
+    to_folded,
+    uninstall_kernel_profiler,
 )
 from .report import (  # noqa: F401
     io_demand_curve,
@@ -133,6 +157,23 @@ __all__ = [
     "FireEvent",
     "OperandEvent",
     "SOURCE_CLASSES",
+    "PROFILE_SCHEMA_VERSION",
+    "KERNEL_BUCKETS",
+    "ProfileNode",
+    "build_phase_tree",
+    "profile_from_runlog",
+    "to_folded",
+    "KernelProfiler",
+    "install_kernel_profiler",
+    "uninstall_kernel_profiler",
+    "kernel_profiler",
+    "kernel_profiling",
+    "PathStep",
+    "CriticalPath",
+    "critical_path",
+    "attribute_makespan",
+    "build_profile_document",
+    "render_profile_text",
     "Span",
     "Tracer",
     "stage_span",

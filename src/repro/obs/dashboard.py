@@ -13,6 +13,9 @@ Sections:
 * per-cell **fire-count and utilization heatmaps** from the
   :class:`~repro.obs.probe.RecordingProbe` event stream;
 * the per-cell **occupancy timeline** (compute / transmit / delay lanes);
+* the **Hotspots panel**: critical-path attribution over the execution
+  plan (:mod:`repro.obs.profile`) — which ``(G-set, cell)`` segments own
+  the makespan, with per-path slack counts;
 * **measured vs. closed-form curves** across problem size ``n``
   (throughput and utilization, Sec. 4.2) and the measured **Fig. 21
   I/O-demand curve** against the ``m/n`` host-rate bound;
@@ -336,6 +339,60 @@ def _run_sections(run: dict) -> list[str]:
     return sections
 
 
+def _hotspot_sections(run: dict, top: int = 10) -> list[str]:
+    """The Hotspots panel: critical-path attribution for the shown run.
+
+    Extracts the longest dependence-constrained chain through the run's
+    execution plan (:func:`repro.obs.profile.critical_path`) and charges
+    its cycles to ``(G-set, cell)`` segments — where the makespan
+    actually went.  A chain covering every cycle (length == makespan)
+    means no scheduling gap is left unexplained.
+    """
+    from .profile import attribute_makespan, critical_path
+
+    impl = run["impl"]
+    res = run["result"]
+    cp = critical_path(impl.exec_plan, impl.dg)
+    rows = attribute_makespan(cp, top=top)
+    matches = cp.length == res.makespan
+    fired = len(impl.exec_plan.fires)
+    table_rows = [
+        {
+            "gset": r["gset"],
+            "cell": r["cell"],
+            "cycles": r["cycles"],
+            "share": f"{r['share']:.1%}",
+        }
+        for r in rows
+    ]
+    note = (
+        '<p class="note">critical path: cycles '
+        f"{cp.start_cycle}..{cp.end_cycle} over {len(cp.steps)} node(s); "
+        "top segments by cycles owned "
+        "(<code>repro profile</code> for the full table and "
+        "flamegraph)</p>"
+    )
+    return [
+        '<div class="card"><div class="row">'
+        + _tile(
+            "Critical path",
+            f"{cp.length:,}",
+            f"of {res.makespan:,} cycles"
+            + (" - covers the run" if matches else ""),
+            "status-ok" if matches else "status-bad",
+        )
+        + _tile(
+            "Zero-slack nodes",
+            f"{cp.zero_slack_nodes:,}",
+            f"of {fired:,} fired nodes",
+        )
+        + "</div>"
+        + _table(table_rows)
+        + note
+        + "</div>"
+    ]
+
+
 def _sweep_sections(rows: Sequence[Mapping[str, Any]]) -> list[str]:
     if not rows:
         return []
@@ -472,6 +529,8 @@ def render_dashboard(
         )
         body.append("<h2>Simulated run</h2>")
         body.extend(_run_sections(run))
+        body.append("<h2>Hotspots (critical-path attribution)</h2>")
+        body.extend(_hotspot_sections(run))
     if sweep_rows:
         body.append("<h2>Measured vs. closed forms (Sec. 4.2)</h2>")
         body.extend(_sweep_sections(sweep_rows))

@@ -227,6 +227,35 @@ class Histogram(_Metric):
         state = self._series.get(_label_key(labels))
         return 0.0 if state is None else state["sum"]
 
+    def quantile(self, q: float, **labels: Any) -> float | None:
+        """Estimate the q-quantile (0..1) by linear bucket interpolation.
+
+        Standard Prometheus ``histogram_quantile`` semantics: the rank
+        ``q * count`` is located in the cumulative bucket counts and the
+        value interpolated within the bucket's ``(lower, le]`` range
+        (lower bound 0 for the first bucket — observations here are
+        non-negative durations/sizes).  Ranks falling beyond the last
+        finite bucket clamp to its upper bound.  Returns ``None`` for an
+        empty or unknown series.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        state = self._series.get(_label_key(labels))
+        if state is None or not state["count"]:
+            return None
+        rank = q * state["count"]
+        prev_count = 0
+        for i, (le, cum) in enumerate(zip(self.buckets, state["counts"])):
+            if cum >= rank:
+                lower = self.buckets[i - 1] if i else 0.0
+                within = cum - prev_count
+                if within <= 0:
+                    return le
+                frac = (rank - prev_count) / within
+                return lower + (le - lower) * frac
+            prev_count = cum
+        return self.buckets[-1]
+
     def to_prometheus(self) -> list[str]:
         lines = self._prom_header()
         for key, state in sorted(self._series.items()):

@@ -50,6 +50,9 @@ __all__ = [
     "make_baseline",
     "compare",
     "find_new_metrics",
+    "PROFILE_SUFFIX",
+    "profile_metrics_for",
+    "blame_lines",
     "format_report",
 ]
 
@@ -83,7 +86,8 @@ DEFAULT_THRESHOLDS: dict[str, float] = {
 }
 
 _CLASS_PATTERNS: tuple[tuple[str, tuple[str, ...]], ...] = (
-    ("wall_time", ("wall", "_time_s", "duration", "_ms", "elapsed")),
+    ("wall_time", ("wall", "_time_s", "duration", "_ms", "elapsed",
+                   "_self_s", "profile_")),
     ("sim_cycles", ("cycle", "makespan", "total_time", "stall")),
     ("memory_traffic", ("memory", "words", "reads", "traffic", "r_memory")),
     ("host_bandwidth", ("bandwidth", "d_io", "hostbw", "_io", "io_")),
@@ -400,6 +404,74 @@ def find_new_metrics(
     return findings
 
 
+#: Key suffix under which ``repro profile --record`` files its
+#: companion record for an experiment: ``<exp_id>:profile``.  A separate
+#: key keeps the ``profile_*`` phase metrics from shadowing the bench
+#: record in :func:`latest_by_exp`.
+PROFILE_SUFFIX = ":profile"
+
+
+def profile_metrics_for(
+    records: Mapping[str, Mapping], exp_id: str
+) -> dict[str, float]:
+    """``profile_*`` metrics visible for an experiment.
+
+    Looks at the experiment's own record and its ``<exp_id>:profile``
+    companion (written by ``repro profile --record``).
+    """
+    out: dict[str, float] = {}
+    for key in (exp_id, exp_id + PROFILE_SUFFIX):
+        rec = records.get(key)
+        if rec:
+            for name, v in rec.get("metrics", {}).items():
+                if name.startswith("profile_"):
+                    out[name] = float(v)
+    return out
+
+
+def blame_lines(
+    baseline: Mapping[str, Mapping],
+    current: Mapping[str, Mapping],
+    regressions: Sequence[Regression],
+) -> list[str]:
+    """Attribute each wall_time regression to the phase that moved most.
+
+    For every regressed wall_time metric, the per-phase self-time
+    metrics recorded by ``repro profile --record`` are diffed on both
+    sides and the phase with the largest absolute increase is named —
+    turning "wall_time +23%" into "the simulate phase grew".  One blame
+    line per experiment; a hint line when no profile record exists.
+    """
+    lines: list[str] = []
+    seen: set[str] = set()
+    for r in regressions:
+        if r.metric_class != "wall_time" or r.exp_id.endswith(PROFILE_SUFFIX):
+            continue
+        if r.exp_id in seen:
+            continue
+        seen.add(r.exp_id)
+        base_p = profile_metrics_for(baseline, r.exp_id)
+        cur_p = profile_metrics_for(current, r.exp_id)
+        shared = sorted(
+            (set(base_p) & set(cur_p)) - {"profile_wall_s"}
+        )
+        if not shared:
+            lines.append(
+                f"BLAME {r.exp_id}: no profile record to attribute the "
+                f"wall_time regression (record one with "
+                f"`repro profile --record` on both sides)"
+            )
+            continue
+        name = max(shared, key=lambda k: cur_p[k] - base_p[k])
+        delta = cur_p[name] - base_p[name]
+        phase = name.removeprefix("profile_").removesuffix("_self_s")
+        lines.append(
+            f"BLAME {r.exp_id}.{r.metric}: phase '{phase}' moved most "
+            f"({base_p[name]:.6g}s -> {cur_p[name]:.6g}s, {delta:+.6g}s)"
+        )
+    return lines
+
+
 def format_report(
     baseline: Mapping[str, Mapping],
     current: Mapping[str, Mapping],
@@ -448,6 +520,7 @@ def format_report(
         )
     for r in regressions:
         lines.append(str(r))
+    lines.extend(blame_lines(baseline, current, regressions))
     lines.append(
         "perfcheck: FAIL" if regressions else "perfcheck: no regressions"
     )

@@ -71,6 +71,8 @@ __all__ = [
     "worker_scope",
     "runlog_enabled",
     "runlog_dir",
+    "runlog_max_events",
+    "DEFAULT_MAX_EVENTS",
     "make_run_id",
     "ledger_path",
     "read_ledger",
@@ -95,6 +97,26 @@ NONDETERMINISTIC_FIELDS = frozenset({"ts", "dur_s", "compile_s"})
 
 #: Reserved per-event envelope fields; payloads may not collide.
 _RESERVED_FIELDS = frozenset({"v", "run", "seq", "ts", "event", "task"})
+
+#: Default cap on the in-memory event buffer; override with
+#: ``REPRO_RUNLOG_MAX_EVENTS``.  Long campaigns keep the first ``cap``
+#: events plus one explicit ``events_dropped`` marker instead of growing
+#: without bound.
+DEFAULT_MAX_EVENTS = 100_000
+
+#: Events that must land even in an overflowing buffer: the terminal
+#: pair ``repro obs verify`` requires to close a ledger.
+_TERMINAL_EVENTS = frozenset({"run_end", "error"})
+
+
+def runlog_max_events() -> int:
+    """The event-buffer cap (env ``REPRO_RUNLOG_MAX_EVENTS``, min 2)."""
+    raw = os.environ.get("REPRO_RUNLOG_MAX_EVENTS", "").strip()
+    try:
+        cap = int(raw) if raw else DEFAULT_MAX_EVENTS
+    except ValueError:
+        return DEFAULT_MAX_EVENTS
+    return max(cap, 2)
 
 
 def runlog_enabled() -> bool:
@@ -157,6 +179,9 @@ class RunLog:
         self._seq = 0
         self._tasks: "list[str | None]" = [task]
         self._t0 = time.time()
+        self.max_events = runlog_max_events()
+        self.dropped = 0
+        self._overflow: "dict[str, Any] | None" = None
 
     # -- emission -------------------------------------------------------
 
@@ -166,13 +191,29 @@ class RunLog:
         return self._tasks[-1]
 
     def emit(self, event: str, **fields: Any) -> dict[str, Any]:
-        """Append one typed event; returns the event dict."""
+        """Append one typed event; returns the event dict.
+
+        Once the buffer holds :attr:`max_events` events, further
+        non-terminal events are counted rather than stored: a single
+        ``events_dropped`` marker (its ``dropped`` count updated in
+        place until the ledger is written) takes the next slot, keeping
+        ``seq`` contiguous while bounding memory on long campaigns.
+        Terminal events (``run_end``, ``error``) always land.
+        """
         bad = _RESERVED_FIELDS & fields.keys()
         if bad:
             raise ValueError(
                 f"event payload collides with reserved field(s) "
                 f"{sorted(bad)}"
             )
+        if (
+            len(self.events) >= self.max_events
+            and event not in _TERMINAL_EVENTS
+        ):
+            return self._note_drop()
+        return self._append(event, fields)
+
+    def _append(self, event: str, fields: Mapping[str, Any]) -> dict[str, Any]:
         ev: dict[str, Any] = {
             "v": RUNLOG_SCHEMA_VERSION,
             "run": self.run_id,
@@ -185,6 +226,15 @@ class RunLog:
         self._seq += 1
         self.events.append(ev)
         return ev
+
+    def _note_drop(self) -> dict[str, Any]:
+        self.dropped += 1
+        if self._overflow is None:
+            self._overflow = self._append(
+                "events_dropped", {"limit": self.max_events, "dropped": 0}
+            )
+        self._overflow["dropped"] = self.dropped
+        return self._overflow
 
     @contextmanager
     def task_ctx(self, name: str) -> Iterator[None]:
@@ -230,6 +280,12 @@ class RunLog:
         sequential run's exactly.
         """
         for ev in events:
+            if (
+                len(self.events) >= self.max_events
+                and ev.get("event") not in _TERMINAL_EVENTS
+            ):
+                self._note_drop()
+                continue
             merged = dict(ev)
             merged["run"] = self.run_id
             merged["seq"] = self._seq
@@ -262,6 +318,11 @@ class RunLog:
         )
         for name in sorted(counts):
             ev_counter.inc(counts[name], entry=self.entry, event=name)
+        if self.dropped:
+            reg.counter(
+                "repro_run_events_dropped_total",
+                "run-ledger events dropped by the buffer cap",
+            ).inc(self.dropped, entry=self.entry)
 
 
 _ACTIVE: "RunLog | None" = None

@@ -15,6 +15,7 @@ from .ascii_art import (  # noqa: F401
     format_table,
 )
 from .svg import (  # noqa: F401
+    svg_flamegraph,
     svg_heatmap,
     svg_lanes,
     svg_line_chart,

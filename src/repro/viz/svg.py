@@ -35,6 +35,7 @@ __all__ = [
     "svg_heatmap",
     "svg_line_chart",
     "svg_lanes",
+    "svg_flamegraph",
 ]
 
 #: Categorical slots 1-3 (validated fixed order; never cycled).  The
@@ -371,5 +372,84 @@ def svg_lanes(
                 f'style="font-variant-numeric: tabular-nums">{_fmt_num(t)}'
                 f"</text>"
             )
+    out.append("</svg>")
+    return "".join(out)
+
+
+def svg_flamegraph(
+    root: Mapping[str, object],
+    title: str = "",
+    width: int = 960,
+    row_px: int = 22,
+) -> str:
+    """Icicle-layout flamegraph of a profile phase tree.
+
+    ``root`` is the plain-dict form of a profile node —
+    ``{"name", "total_s", "self_s", "children": [...]}`` (what
+    ``ProfileNode.to_dict`` / the ``repro profile`` JSON's ``phases``
+    field holds; this module stays independent of :mod:`repro.obs`).
+    Root on top, each child's width proportional to its share of the
+    parent's cumulative time, depth growing downward.  Frames carry
+    ``<title>`` tooltips and luminance-picked in-frame labels; frames
+    narrower than a pixel are dropped.  Unlike the dashboard charts this
+    SVG declares ``xmlns``, so ``--flame-out`` files open standalone.
+    """
+    total = float(root.get("total_s") or 0.0)  # type: ignore[arg-type]
+
+    def max_depth(node: Mapping[str, object], d: int) -> int:
+        deepest = d
+        for c in node.get("children") or ():  # type: ignore[union-attr]
+            deepest = max(deepest, max_depth(c, d + 1))
+        return deepest
+
+    rows = max_depth(root, 0) + 1
+    top = 26 if title else 4
+    height = top + rows * (row_px + 2) + 4
+    out = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" {_FONT} '
+        f'viewBox="0 0 {width} {height}" width="{width}" '
+        f'height="{height}" role="img" aria-label="{escape(title)}">'
+    ]
+    if title:
+        out.append(
+            f'<text x="0" y="14" font-size="12" font-weight="600" '
+            f'fill="{_INK}">{escape(title)}</text>'
+        )
+
+    def emit(node: Mapping[str, object], x: float, w: float, d: int) -> None:
+        if w < 1.0:
+            return
+        node_total = float(node.get("total_s") or 0.0)  # type: ignore[arg-type]
+        node_self = float(node.get("self_s") or 0.0)  # type: ignore[arg-type]
+        name = str(node.get("name"))
+        share = node_total / total if total else 0.0
+        # Darker = hotter (bigger share of the run), same ramp as the
+        # heatmaps so the dashboard reads as one family.
+        fill = seq_color(0.15 + 0.85 * share)
+        y = top + d * (row_px + 2)
+        pct = f"{share:.1%}"
+        out.append(
+            f'<rect x="{x:.1f}" y="{y}" width="{max(w - 1, 0.8):.1f}" '
+            f'height="{row_px}" rx="2" fill="{fill}" data-frame="{escape(name)}">'
+            f"<title>{escape(name)}: {node_total:.4f}s total "
+            f"({pct} of run), {node_self:.4f}s self</title></rect>"
+        )
+        label = name
+        if len(label) * 7 > w - 8 and w > 22:
+            label = label[: max(int((w - 15) / 7), 1)] + "…"
+        if len(label) * 7 <= w - 6:
+            out.append(
+                f'<text x="{x + 4:.1f}" y="{y + row_px - 7}" font-size="11" '
+                f'fill="{ink_on(fill)}" pointer-events="none">'
+                f"{escape(label)}</text>"
+            )
+        cx = x
+        for c in node.get("children") or ():  # type: ignore[union-attr]
+            c_total = float(c.get("total_s") or 0.0)
+            cw = w * (c_total / node_total) if node_total else 0.0
+            emit(c, cx, cw, d + 1)
+            cx += cw
+
+    emit(root, 0.0, float(width), 0)
     out.append("</svg>")
     return "".join(out)

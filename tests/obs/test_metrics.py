@@ -74,6 +74,85 @@ class TestHistogram:
         with pytest.raises(ValueError, match="at least one bucket"):
             MetricsRegistry().histogram("x", buckets=())
 
+    def test_bucket_boundaries_are_inclusive(self) -> None:
+        # Prometheus buckets are upper-inclusive: v <= le counts, and
+        # the counts are cumulative across buckets.
+        h = MetricsRegistry().histogram("lat", buckets=(1.0, 10.0, 100.0))
+        for v in (1.0, 10.0, 10.0, 100.0, 1000.0):
+            h.observe(v)
+        state = h._series[()]
+        assert state["counts"] == [1, 3, 4]  # cumulative, 1000 overflows
+        assert state["count"] == 5
+
+    def test_buckets_sorted_on_construction(self) -> None:
+        h = MetricsRegistry().histogram("x", buckets=(10.0, 1.0, 5.0))
+        assert h.buckets == (1.0, 5.0, 10.0)
+
+    def test_quantile_interpolates_within_bucket(self) -> None:
+        h = MetricsRegistry().histogram("lat", buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 1.5, 3.0):
+            h.observe(v)
+        # rank 2 of 4 lands in the (1, 2] bucket (cumulative 1 -> 3).
+        assert h.quantile(0.5) == pytest.approx(1.5)
+        # rank 4 of 4 is the last finite bucket's upper edge.
+        assert h.quantile(1.0) == pytest.approx(4.0)
+        assert h.quantile(0.0) == pytest.approx(0.0)
+
+    def test_quantile_overflow_clamps_to_last_bucket(self) -> None:
+        h = MetricsRegistry().histogram("lat", buckets=(1.0, 2.0))
+        h.observe(50.0)
+        assert h.quantile(0.99) == pytest.approx(2.0)
+
+    def test_quantile_empty_or_unknown_series_is_none(self) -> None:
+        h = MetricsRegistry().histogram("lat", buckets=(1.0,))
+        assert h.quantile(0.5) is None
+        h.observe(0.5, exp="F18")
+        assert h.quantile(0.5, exp="NOPE") is None
+
+    def test_quantile_out_of_range_rejected(self) -> None:
+        h = MetricsRegistry().histogram("lat", buckets=(1.0,))
+        with pytest.raises(ValueError, match="quantile"):
+            h.quantile(1.5)
+
+    def test_labelled_prometheus_keeps_le_last(self) -> None:
+        reg = MetricsRegistry()
+        reg.histogram("lat", buckets=(1.0,)).observe(0.5, exp="F18")
+        text = reg.to_prometheus()
+        assert 'lat_bucket{exp="F18",le="1.0"} 1' in text
+        assert 'lat_bucket{exp="F18",le="+Inf"} 1' in text
+        assert 'lat_count{exp="F18"} 1' in text
+
+    def test_merge_json_roundtrip(self) -> None:
+        src = MetricsRegistry()
+        h = src.histogram("lat", "kernel steps", buckets=(1.0, 10.0))
+        h.observe(0.5, opcode="mac")
+        h.observe(5.0, opcode="mac")
+        h.observe(20.0, opcode="min")
+        snapshot = json.loads(src.dump_json())
+
+        dst = MetricsRegistry()
+        dst.merge_json(snapshot)
+        merged = dst.get("lat")
+        assert isinstance(merged, Histogram)
+        assert merged.count(opcode="mac") == 2
+        assert merged.sum(opcode="mac") == pytest.approx(5.5)
+        assert merged.quantile(0.5, opcode="mac") == pytest.approx(
+            h.quantile(0.5, opcode="mac")
+        )
+        assert dst.to_prometheus() == src.to_prometheus()
+        # Merging the same snapshot again adds (worker-merge semantics).
+        dst.merge_json(snapshot)
+        assert merged.count(opcode="mac") == 4
+
+    def test_merge_json_bucket_mismatch_raises(self) -> None:
+        src = MetricsRegistry()
+        src.histogram("lat", buckets=(1.0, 10.0)).observe(0.5)
+        snapshot = json.loads(src.dump_json())
+        dst = MetricsRegistry()
+        dst.histogram("lat", buckets=(2.0, 20.0))
+        with pytest.raises(ValueError, match="bucket mismatch"):
+            dst.merge_json(snapshot)
+
 
 class TestRegistry:
     def test_get_or_create_returns_same_instance(self) -> None:

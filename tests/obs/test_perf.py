@@ -357,3 +357,81 @@ class TestRunIdStamping:
         # No ledger -> no dangling header line.
         text = perf.format_report(base, base, [])
         assert "run ledger" not in text
+
+
+class TestBlame:
+    """Wall-time regressions are attributed to the phase that moved most."""
+
+    def maps(self, compile_cur=1.1):
+        baseline = {
+            "F18": record("F18", {"wall_time_s": 1.0}),
+            "F18:profile": record("F18:profile", {
+                "profile_wall_s": 1.0,
+                "profile_sim_compile_self_s": 0.2,
+                "profile_plan_partitioned_self_s": 0.1,
+            }),
+        }
+        current = {
+            "F18": record("F18", {"wall_time_s": 2.0}),
+            "F18:profile": record("F18:profile", {
+                "profile_wall_s": 2.0,
+                "profile_sim_compile_self_s": compile_cur,
+                "profile_plan_partitioned_self_s": 0.12,
+            }),
+        }
+        return baseline, current
+
+    def test_profile_metrics_classified_wall_time(self):
+        assert perf.classify_metric("profile_sim_compile_self_s") == "wall_time"
+        assert perf.classify_metric("profile_wall_s") == "wall_time"
+
+    def test_profile_metrics_for_merges_companion_record(self):
+        baseline, _ = self.maps()
+        metrics = perf.profile_metrics_for(baseline, "F18")
+        assert metrics == {
+            "profile_wall_s": 1.0,
+            "profile_sim_compile_self_s": 0.2,
+            "profile_plan_partitioned_self_s": 0.1,
+        }
+        assert perf.profile_metrics_for(baseline, "NOPE") == {}
+
+    def test_blame_names_biggest_mover(self):
+        baseline, current = self.maps()
+        regs = perf.compare(baseline, current, classes=["wall_time"])
+        lines = perf.blame_lines(baseline, current, regs)
+        blames = [ln for ln in lines if ln.startswith("BLAME F18.")]
+        assert len(blames) == 1
+        assert "phase 'sim_compile' moved most" in blames[0]
+        assert "0.2s -> 1.1s" in blames[0]
+
+    def test_blame_hint_without_profile_record(self):
+        baseline = {"F18": record("F18", {"wall_time_s": 1.0})}
+        current = {"F18": record("F18", {"wall_time_s": 2.0})}
+        regs = perf.compare(baseline, current, classes=["wall_time"])
+        lines = perf.blame_lines(baseline, current, regs)
+        assert len(lines) == 1
+        assert "no profile record" in lines[0]
+        assert "repro profile --record" in lines[0]
+
+    def test_blame_skips_non_wall_time_regressions(self):
+        baseline = {"F18": record("F18", {"stall_cycles_total": 0.0})}
+        current = {"F18": record("F18", {"stall_cycles_total": 5.0})}
+        regs = perf.compare(baseline, current)
+        assert regs  # sim_cycles regression exists...
+        assert perf.blame_lines(baseline, current, regs) == []
+
+    def test_format_report_includes_blame(self):
+        baseline, current = self.maps()
+        regs = perf.compare(baseline, current, classes=["wall_time"])
+        text = perf.format_report(baseline, current, regs, ["wall_time"])
+        assert "BLAME F18.wall_time_s" in text
+        assert "FAIL" in text
+
+    def test_deterministic_classes_ignore_profile_records(self):
+        """The CI gate's classes never gate on profile companions."""
+        baseline, current = self.maps()
+        regs = perf.compare(
+            baseline, current,
+            classes=["sim_cycles", "memory_traffic", "host_bandwidth"],
+        )
+        assert regs == []

@@ -138,6 +138,88 @@ def test_run_close_metrics_published(tmp_path, _fresh_registry):
 
 
 # ----------------------------------------------------------------------
+# Event-buffer cap
+# ----------------------------------------------------------------------
+
+def test_runlog_max_events_env(monkeypatch):
+    assert runlog.runlog_max_events() == runlog.DEFAULT_MAX_EVENTS
+    monkeypatch.setenv("REPRO_RUNLOG_MAX_EVENTS", "500")
+    assert runlog.runlog_max_events() == 500
+    monkeypatch.setenv("REPRO_RUNLOG_MAX_EVENTS", "bogus")
+    assert runlog.runlog_max_events() == runlog.DEFAULT_MAX_EVENTS
+    monkeypatch.setenv("REPRO_RUNLOG_MAX_EVENTS", "1")
+    assert runlog.runlog_max_events() == 2  # floor: run_start + run_end
+
+
+def test_event_cap_drops_with_single_marker(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_RUNLOG_MAX_EVENTS", "5")
+    with runlog.run_scope("verify", {"n": 5}, dir=tmp_path) as rl:
+        for i in range(20):
+            runlog.emit("oracle", ok=True, i=i)
+    events, problems = runlog.read_ledger(tmp_path / f"{rl.run_id}.jsonl")
+    assert problems == []
+    names = [ev["event"] for ev in events]
+    # run_start + 4 oracles fill the cap of 5; the single overflow
+    # marker takes the next slot, and the terminal run_end always lands.
+    assert names == [
+        "run_start", "oracle", "oracle", "oracle", "oracle",
+        "events_dropped", "run_end",
+    ]
+    marker = events[5]
+    assert marker["limit"] == 5
+    assert marker["dropped"] == 16
+    # seq stays contiguous: the marker consumes exactly one seq.
+    assert [ev["seq"] for ev in events] == list(range(len(events)))
+
+
+def test_event_cap_terminal_events_always_kept(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_RUNLOG_MAX_EVENTS", "2")
+    with pytest.raises(RuntimeError, match="boom"):
+        with runlog.run_scope("verify", {}, dir=tmp_path) as rl:
+            for _ in range(10):
+                runlog.emit("oracle", ok=True)
+            raise RuntimeError("boom")
+    events, _ = runlog.read_ledger(tmp_path / f"{rl.run_id}.jsonl")
+    names = [ev["event"] for ev in events]
+    assert names[0] == "run_start"
+    assert "events_dropped" in names
+    assert names[-2:] == ["error", "run_end"]
+
+
+def test_event_cap_publishes_dropped_metric(tmp_path, monkeypatch,
+                                            _fresh_registry):
+    monkeypatch.setenv("REPRO_RUNLOG_MAX_EVENTS", "3")
+    with runlog.run_scope("verify", {}, dir=tmp_path):
+        for _ in range(6):
+            runlog.emit("oracle", ok=True)
+    doc = _fresh_registry.to_json()["repro_run_events_dropped_total"]
+    [series] = doc["series"]
+    assert series["labels"] == {"entry": "verify"}
+    assert series["value"] == 4  # run_start + 2 kept of 6 emitted
+
+
+def test_event_cap_applies_to_absorbed_workers(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_RUNLOG_MAX_EVENTS", "4")
+    with runlog.run_scope("campaign", {"seed": 0}, dir=tmp_path) as rl:
+        payload = runlog.worker_payload()
+        with runlog.worker_scope(payload, task="cfg-a") as wrl:
+            for _ in range(10):
+                runlog.emit("oracle", ok=True)
+        rl.absorb(wrl.events)
+    events, _ = runlog.read_ledger(tmp_path / f"{rl.run_id}.jsonl")
+    assert [ev["seq"] for ev in events] == list(range(len(events)))
+    assert sum(1 for ev in events if ev["event"] == "events_dropped") == 1
+    assert rl.dropped > 0
+
+
+def test_no_drops_means_no_marker(tmp_path):
+    with runlog.run_scope("verify", {}, dir=tmp_path) as rl:
+        runlog.emit("oracle", ok=True)
+    events, _ = runlog.read_ledger(tmp_path / f"{rl.run_id}.jsonl")
+    assert all(ev["event"] != "events_dropped" for ev in events)
+
+
+# ----------------------------------------------------------------------
 # Worker propagation
 # ----------------------------------------------------------------------
 

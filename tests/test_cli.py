@@ -254,8 +254,30 @@ def test_obs_diff_same_run_identical(capsys, tmp_path, monkeypatch) -> None:
     assert "identical" in out
 
 
-def test_obs_show_empty_dir_exits_two(tmp_path) -> None:
-    assert main(["obs", "show", "--dir", str(tmp_path / "void")]) == 2
+def test_obs_show_empty_dir_exits_one(capsys, tmp_path) -> None:
+    assert main(["obs", "show", "--dir", str(tmp_path / "void")]) == 1
+    err = capsys.readouterr().err
+    assert "no ledgers under" in err
+    assert "Traceback" not in err
+
+
+def test_obs_show_missing_run_exits_one(capsys, tmp_path) -> None:
+    assert main(["obs", "show", "nope-123", "--dir", str(tmp_path)]) == 1
+    err = capsys.readouterr().err
+    assert "cannot read" in err
+
+
+def test_obs_diff_missing_run_exits_one(capsys, tmp_path) -> None:
+    assert main(["obs", "diff", "a-1", "b-2", "--dir", str(tmp_path)]) == 1
+    err = capsys.readouterr().err
+    assert "cannot read" in err
+    assert "Traceback" not in err
+
+
+def test_obs_verify_empty_dir_exits_one(capsys, tmp_path) -> None:
+    assert main(["obs", "verify", "--dir", str(tmp_path / "void")]) == 1
+    err = capsys.readouterr().err
+    assert "no ledgers under" in err
 
 
 def test_obs_verify_flags_tampered_ledger(capsys, tmp_path,
@@ -276,6 +298,64 @@ def test_runlog_disabled_leaves_no_ledger(capsys, tmp_path,
     monkeypatch.setenv("REPRO_RUNLOG", "0")
     run_cli(capsys, "faults", "--config", "linear-n9-m3")
     assert list(tmp_path.glob("*.jsonl")) == []
+
+
+def test_profile_config_mode(capsys, tmp_path) -> None:
+    import json
+
+    out_json = tmp_path / "profile.json"
+    out = run_cli(capsys, "profile", "--n", "9", "--m", "3",
+                  "--json", "--out", str(out_json))
+    assert str(out_json) in out
+    doc = json.loads(out_json.read_text())
+    assert doc["version"] == 1
+    assert doc["kind"] == "repro-profile"
+    # Self-times telescope: their sum equals the measured wall time.
+    assert doc["self_sum_s"] == pytest.approx(doc["wall_s"], rel=0.05)
+    [cp] = doc["critical_paths"]
+    assert cp["matches_makespan"] is True
+    assert cp["length"] == cp["makespan"]
+    assert cp["hotspots"]
+    assert doc["config"]["correct"] is True
+
+
+def test_profile_text_flame_folded_record(capsys, tmp_path) -> None:
+    flame = tmp_path / "flame.svg"
+    folded = tmp_path / "stacks.folded"
+    history = tmp_path / "hist.jsonl"
+    out = run_cli(capsys, "profile", "--n", "8", "--m", "3",
+                  "--backend", "vector",
+                  "--flame-out", str(flame),
+                  "--folded-out", str(folded),
+                  "--record", str(history))
+    assert "phases (top" in out
+    assert "critical path [linear-n8-m3]" in out
+    svg = flame.read_text()
+    assert svg.startswith("<svg") and "http://www.w3.org/2000/svg" in svg
+    lines = folded.read_text().splitlines()
+    assert lines and all(line.rsplit(" ", 1)[1].isdigit() for line in lines)
+    import json
+
+    rec = json.loads(history.read_text().splitlines()[-1])
+    assert rec["exp_id"] == "linear-n8-m3:profile"
+    assert "profile_wall_s" in rec["metrics"]
+
+
+def test_profile_from_run(capsys, tmp_path, monkeypatch) -> None:
+    monkeypatch.setenv("REPRO_RUNLOG_DIR", str(tmp_path))
+    run_cli(capsys, "faults", "--config", "linear-n9-m3",
+            "--kinds", "transient")
+    run_id = next(tmp_path.glob("faults-*.jsonl")).stem
+    out = run_cli(capsys, "profile", "--from-run", run_id,
+                  "--dir", str(tmp_path))
+    assert "campaign.config" in out
+
+
+def test_profile_usage_errors(tmp_path) -> None:
+    assert main(["profile", "--experiment", "F18", "--n", "9"]) == 2
+    assert main(["profile", "--experiment", "NOPE"]) == 2
+    assert main(["profile", "--from-run", "ghost-1",
+                 "--dir", str(tmp_path)]) == 1
 
 
 def test_dashboard_includes_run_ledger_panel(capsys, tmp_path,

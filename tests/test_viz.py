@@ -186,3 +186,51 @@ def test_svg_nice_ticks_cover_range() -> None:
     steps = {round(b - a, 9) for a, b in zip(ticks, ticks[1:])}
     assert len(steps) == 1  # uniform, round-number spacing
     assert ticks[-1] >= 97.0 - steps.pop()  # last tick within one step of hi
+
+
+def test_svg_flamegraph_frames_and_tooltips() -> None:
+    from repro.viz import svg_flamegraph
+
+    tree = {
+        "name": "run", "count": 1, "total_s": 1.0, "self_s": 0.2,
+        "children": [
+            {"name": "simulate", "count": 1, "total_s": 0.6, "self_s": 0.6,
+             "children": []},
+            {"name": "partition", "count": 1, "total_s": 0.2, "self_s": 0.2,
+             "children": []},
+        ],
+    }
+    svg = svg_flamegraph(tree, title="profile")
+    _wellformed(svg)
+    assert svg.startswith("<svg")
+    assert 'xmlns="http://www.w3.org/2000/svg"' in svg
+    assert svg.count('data-frame="') == 3  # root + both children
+    assert "simulate: 0.6000s total (60.0% of run)" in svg
+    assert "profile" in svg
+
+
+def test_svg_flamegraph_drops_subpixel_frames() -> None:
+    from repro.viz import svg_flamegraph
+
+    tree = {
+        "name": "run", "count": 1, "total_s": 1.0, "self_s": 0.0,
+        "children": [
+            {"name": "big", "count": 1, "total_s": 1.0 - 1e-6,
+             "self_s": 1.0 - 1e-6, "children": []},
+            {"name": "tiny", "count": 1, "total_s": 1e-6, "self_s": 1e-6,
+             "children": []},
+        ],
+    }
+    svg = svg_flamegraph(tree, width=400)
+    _wellformed(svg)
+    assert "big" in svg and "tiny" not in svg
+
+
+def test_svg_flamegraph_empty_tree() -> None:
+    from repro.viz import svg_flamegraph
+
+    svg = svg_flamegraph(
+        {"name": "run", "count": 1, "total_s": 0.0, "self_s": 0.0,
+         "children": []}
+    )
+    _wellformed(svg)
