@@ -35,6 +35,7 @@ only the Python object types of ``outputs`` values differ.
 from __future__ import annotations
 
 import hashlib
+import os
 import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Hashable, Mapping
@@ -572,6 +573,13 @@ def get_compiled(
         "plan_cache", outcome="compile", plan_fingerprint=fp,
         graph=dg.name, compile_s=round(compiled.compile_seconds, 6),
     )
+    if os.environ.get("REPRO_LINT_PLANNER", "") not in ("", "0"):
+        # Env-gated post-compile preflight: statically verify the value
+        # program (RL5xx) and its cost record (RL6xx) before anything
+        # replays it.  Raises repro.lint.LintError on error findings.
+        from ..lint.planner import planner_preflight
+
+        planner_preflight(compiled, plan, dg, semiring)
     return compiled
 
 

@@ -47,6 +47,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "simulate_vector",
+    "ALLOWED_FALLBACK_REASONS",
     "BACKENDS",
     "get_backend",
     "default_backend",
@@ -56,6 +57,14 @@ __all__ = [
 ]
 
 SimulateFn = Callable[..., SimResult]
+
+#: The documented reasons the vector backend may hand a run to the
+#: reference interpreter.  The RL505 fallback-audit lint pass fails on
+#: any ``repro_vector_fallback_total`` reason outside this set — a new
+#: fallback path must be added here (i.e. audited) before it ships.
+ALLOWED_FALLBACK_REASONS: frozenset[str] = frozenset(
+    {"probe", "inject", "unvectorizable"}
+)
 
 
 def _count_fallback(reason: str) -> None:

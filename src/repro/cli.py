@@ -98,6 +98,27 @@ def build_parser() -> argparse.ArgumentParser:
                         "workload) instead of one design")
     s.add_argument("--config", default=None, metavar="NAME",
                    help="lint one shipped configuration by name")
+    s.add_argument("--planner", action="store_true",
+                   help="also compile the value program and run the "
+                        "RL5xx plan-verification and RL6xx static-cost "
+                        "tiers over it")
+    s.add_argument("--from-run", metavar="RUN_ID", default=None,
+                   help="rebuild the design a run ledger records and "
+                        "lint the plan it fingerprinted (implies "
+                        "--planner)")
+    s.add_argument("--dir", metavar="DIR", default=None,
+                   help="run-ledger directory for --from-run "
+                        "(default: runs/ or REPRO_RUNLOG_DIR)")
+    s.add_argument("--baseline", metavar="FILE", default=None,
+                   help="suppress warn/info findings recorded in this "
+                        "baseline file; errors always gate")
+    s.add_argument("--update-baseline", action="store_true",
+                   help="rewrite --baseline from the current findings "
+                        "(accepts new warn-tier debt, drops stale "
+                        "entries)")
+    s.add_argument("--baseline-diff-out", metavar="FILE", default=None,
+                   help="write the new/suppressed/stale split as a JSON "
+                        "artefact (CI uploads this)")
     s.add_argument("--format", choices=("text", "json", "sarif"),
                    default="text")
     s.add_argument("--out", metavar="FILE", default=None,
@@ -491,15 +512,56 @@ def _cmd_lint(args) -> int:
         lint_shipped_configs,
     )
 
-    if args.experiments and args.config:
-        print("lint: --experiments and --config are mutually exclusive",
+    modes = sum(
+        1 for on in (args.experiments, bool(args.config),
+                     args.from_run is not None) if on
+    )
+    if modes > 1:
+        print("lint: --experiments, --config and --from-run are mutually "
+              "exclusive", file=sys.stderr)
+        return 2
+    if args.update_baseline and not args.baseline:
+        print("lint: --update-baseline needs --baseline FILE",
               file=sys.stderr)
         return 2
-    if args.experiments:
-        reports = lint_shipped_configs()
+
+    notes: list[str] = []
+    if args.from_run is not None:
+        from .lint.planner import lint_from_run
+
+        try:
+            res = lint_from_run(args.from_run, args.dir)
+        except FileNotFoundError as exc:
+            print(f"lint: {exc}", file=sys.stderr)
+            return 1
+        except ValueError as exc:
+            print(f"lint: {exc}", file=sys.stderr)
+            return 2
+        reports = {args.from_run: res["report"]}
+        if res["matches"] is None:
+            notes.append(
+                f"run {args.from_run} recorded no plan fingerprint; "
+                "linted today's rebuild"
+            )
+        elif res["matches"]:
+            notes.append(
+                f"plan fingerprint matches the run ledger "
+                f"({res['fingerprint'][:12]})"
+            )
+        else:
+            notes.append(
+                "WARNING: today's plan fingerprint "
+                f"{res['fingerprint'][:12]} is not among the "
+                f"{len(res['recorded'])} the ledger recorded - the "
+                "design has drifted since that run"
+            )
+    elif args.experiments:
+        reports = lint_shipped_configs(planner=args.planner)
     elif args.config:
         try:
-            reports = {args.config: lint_config(args.config)}
+            reports = {
+                args.config: lint_config(args.config, planner=args.planner)
+            }
         except KeyError as exc:
             print(f"lint: {exc.args[0]}", file=sys.stderr)
             return 2
@@ -517,8 +579,44 @@ def _cmd_lint(args) -> int:
             name: lint_implementation(
                 impl, description=name,
                 io_bound=tc_io_bandwidth(args.n, args.m),
+                planner=args.planner,
             )
         }
+
+    diff = None
+    if args.baseline:
+        from .lint.baseline import (
+            apply_baseline,
+            build_baseline,
+            load_baseline,
+            save_baseline,
+        )
+
+        if args.update_baseline:
+            doc = build_baseline(reports)
+            save_baseline(args.baseline, doc)
+            notes.append(
+                f"baseline: wrote {len(doc['findings'])} accepted "
+                f"finding(s) to {args.baseline}"
+            )
+        else:
+            try:
+                baseline = load_baseline(args.baseline)
+            except (OSError, ValueError, json.JSONDecodeError) as exc:
+                print(f"lint: cannot load baseline: {exc}", file=sys.stderr)
+                return 2
+            diff = apply_baseline(reports, baseline)
+            notes.append(diff.summary())
+    if args.baseline_diff_out:
+        if diff is None:
+            print("lint: --baseline-diff-out needs --baseline (without "
+                  "--update-baseline)", file=sys.stderr)
+            return 2
+        _write_text(
+            args.baseline_diff_out,
+            json.dumps(diff.to_dict(), indent=2, sort_keys=True) + "\n",
+        )
+        notes.append(f"baseline diff written to {args.baseline_diff_out}")
 
     errors = sum(len(rep.errors) for rep in reports.values())
     warnings = sum(len(rep.warnings) for rep in reports.values())
@@ -550,6 +648,8 @@ def _cmd_lint(args) -> int:
         print(f"lint: wrote {args.format} report to {args.out} ({summary})")
     else:
         print(body)
+    for note in notes:
+        print(f"lint: {note}")
     return 1 if errors else 0
 
 
@@ -1104,7 +1204,8 @@ _COMMANDS = {
 #: ``jobs`` is excluded from the run identity so ``--jobs N`` shares the
 #: sequential run's ledger.
 _LEDGER_VERBS = frozenset(
-    {"partition", "trace", "faults", "bench", "perfcheck", "profile"}
+    {"partition", "trace", "faults", "bench", "perfcheck", "profile",
+     "lint"}
 )
 
 

@@ -29,7 +29,13 @@ from .diagnostics import (
     SCHEMA_VERSION,
     Severity,
 )
-from .registry import LintPass, LintTarget, all_passes, run_lint
+from .registry import (
+    LintPass,
+    LintTarget,
+    PLANNER_STAGES,
+    all_passes,
+    run_lint,
+)
 from .configs import (
     LintConfig,
     SHIPPED_CONFIGS,
@@ -37,10 +43,43 @@ from .configs import (
     lint_graph,
     lint_implementation,
     lint_shipped_configs,
+    lint_target,
     preflight,
+)
+from .planner import (
+    attach_compiled,
+    clear_lint_cache,
+    lint_cache_info,
+    lint_compiled,
+    lint_from_run,
+    planner_pass_names,
+)
+from .baseline import (
+    BaselineDiff,
+    build_baseline,
+    diff_baseline,
+    apply_baseline,
+    finding_key,
+    load_baseline,
+    save_baseline,
 )
 
 __all__ = [
+    "PLANNER_STAGES",
+    "lint_target",
+    "attach_compiled",
+    "clear_lint_cache",
+    "lint_cache_info",
+    "lint_compiled",
+    "lint_from_run",
+    "planner_pass_names",
+    "BaselineDiff",
+    "build_baseline",
+    "diff_baseline",
+    "apply_baseline",
+    "finding_key",
+    "load_baseline",
+    "save_baseline",
     "Diagnostic",
     "Severity",
     "RuleInfo",

@@ -1,0 +1,178 @@
+"""Lint baselines: ratchet warn-tier findings without blocking CI.
+
+A baseline file (conventionally ``lint-baseline.json`` at the repo
+root) records the warn/info findings a team has reviewed and accepted.
+Linting against it splits findings three ways:
+
+* **suppressed** — in the baseline: accepted debt, hidden from the
+  rendered report (CI stays green);
+* **new** — not in the baseline: surfaced loudly so a regression never
+  hides behind accepted debt.  Error-severity findings are *never*
+  baselineable — they always count as new and always gate;
+* **stale** — baseline entries no finding matches anymore: the debt
+  was paid, so the entry should be deleted (``--update-baseline``
+  rewrites the file and ratchets it down automatically).
+
+A finding's identity is a digest of its target and every stable field
+(code, severity, message, locations), so editing a message or moving a
+finding invalidates the suppression — the conservative choice.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+from .diagnostics import Diagnostic, LintReport, Severity
+
+__all__ = [
+    "BASELINE_VERSION",
+    "BaselineDiff",
+    "finding_key",
+    "build_baseline",
+    "load_baseline",
+    "save_baseline",
+    "diff_baseline",
+    "apply_baseline",
+]
+
+#: Schema version of the baseline file.
+BASELINE_VERSION = 1
+
+
+def finding_key(target: str, diag: Diagnostic) -> str:
+    """Stable identity of one finding within one target's report."""
+    payload = json.dumps(
+        {"target": target, **diag.to_dict()}, sort_keys=True
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def build_baseline(reports: Mapping[str, LintReport]) -> dict[str, Any]:
+    """A baseline document accepting every current warn/info finding."""
+    findings: dict[str, Any] = {}
+    for name, report in sorted(reports.items()):
+        for diag in report.unique_diagnostics():
+            if diag.severity is Severity.ERROR:
+                continue  # errors are never accepted debt
+            findings[finding_key(name, diag)] = {
+                "target": name,
+                "code": diag.code,
+                "severity": diag.severity.value,
+                "message": diag.message,
+            }
+    return {
+        "version": BASELINE_VERSION,
+        "tool": "repro-lint",
+        "findings": findings,
+    }
+
+
+def load_baseline(path: "str | Path") -> dict[str, Any]:
+    """Load and validate a baseline file."""
+    doc = json.loads(Path(path).read_text())
+    if not isinstance(doc, dict) or doc.get("tool") != "repro-lint":
+        raise ValueError(f"{path} is not a repro-lint baseline file")
+    if doc.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"{path} has baseline version {doc.get('version')!r}; "
+            f"this tool reads version {BASELINE_VERSION}"
+        )
+    if not isinstance(doc.get("findings"), dict):
+        raise ValueError(f"{path} has no findings table")
+    return doc
+
+
+def save_baseline(path: "str | Path", doc: Mapping[str, Any]) -> None:
+    """Write a baseline document (stable key order, trailing newline)."""
+    p = Path(path)
+    if p.parent and not p.parent.exists():
+        p.parent.mkdir(parents=True, exist_ok=True)
+    p.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+
+
+@dataclass
+class BaselineDiff:
+    """The three-way split of current findings against a baseline."""
+
+    #: ``(target, diagnostic)`` pairs the baseline does not cover —
+    #: includes every error-severity finding unconditionally.
+    new: list[tuple[str, Diagnostic]] = field(default_factory=list)
+    #: ``(target, diagnostic)`` pairs the baseline accepts.
+    suppressed: list[tuple[str, Diagnostic]] = field(default_factory=list)
+    #: Baseline entries (key -> recorded metadata) nothing matched.
+    stale: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def new_errors(self) -> list[tuple[str, Diagnostic]]:
+        """The subset of ``new`` that gates (error severity)."""
+        return [
+            (t, d) for t, d in self.new if d.severity is Severity.ERROR
+        ]
+
+    def summary(self) -> str:
+        """One-line terminal summary."""
+        return (
+            f"baseline: {len(self.suppressed)} suppressed, "
+            f"{len(self.new)} new ({len(self.new_errors)} error(s)), "
+            f"{len(self.stale)} stale entr"
+            + ("y" if len(self.stale) == 1 else "ies")
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """Versioned JSON artefact (the CI baseline-diff upload)."""
+        return {
+            "version": BASELINE_VERSION,
+            "tool": "repro-lint",
+            "new": [
+                {"target": t, **d.to_dict()} for t, d in self.new
+            ],
+            "suppressed": [
+                {"target": t, "code": d.code, "key": finding_key(t, d)}
+                for t, d in self.suppressed
+            ],
+            "stale": dict(sorted(self.stale.items())),
+        }
+
+
+def diff_baseline(
+    reports: Mapping[str, LintReport], baseline: Mapping[str, Any]
+) -> BaselineDiff:
+    """Split the reports' findings against a loaded baseline."""
+    accepted: dict[str, Any] = dict(baseline.get("findings", {}))
+    diff = BaselineDiff()
+    seen: set[str] = set()
+    for name, report in sorted(reports.items()):
+        for diag in report.unique_diagnostics():
+            key = finding_key(name, diag)
+            if diag.severity is not Severity.ERROR and key in accepted:
+                diff.suppressed.append((name, diag))
+                seen.add(key)
+            else:
+                diff.new.append((name, diag))
+    diff.stale = {k: v for k, v in accepted.items() if k not in seen}
+    return diff
+
+
+def apply_baseline(
+    reports: Mapping[str, LintReport], baseline: Mapping[str, Any]
+) -> BaselineDiff:
+    """Diff and then strip suppressed findings from the reports in place.
+
+    The rendered report (text/JSON/SARIF) then shows only new findings;
+    the returned diff still lists what was suppressed.
+    """
+    diff = diff_baseline(reports, baseline)
+    suppressed_keys = {
+        finding_key(t, d) for t, d in diff.suppressed
+    }
+    for name, report in reports.items():
+        report.diagnostics = [
+            d
+            for d in report.diagnostics
+            if finding_key(name, d) not in suppressed_keys
+        ]
+    return diff

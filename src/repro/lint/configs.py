@@ -27,6 +27,7 @@ __all__ = [
     "SHIPPED_CONFIGS",
     "lint_graph",
     "lint_implementation",
+    "lint_target",
     "lint_config",
     "lint_shipped_configs",
     "preflight",
@@ -151,19 +152,65 @@ def lint_implementation(
     description: str | None = None,
     io_bound: Fraction | None = None,
     build_exec_plan: bool = True,
+    planner: bool = False,
 ) -> LintReport:
-    """Run every applicable pass over a partitioned implementation."""
-    return run_lint(
+    """Run every applicable pass over a partitioned implementation.
+
+    ``planner=True`` also compiles the value program and runs the
+    RL5xx/RL6xx tiers over it (requires ``build_exec_plan=True``).
+    """
+    return lint_target(
         LintTarget.from_implementation(
             impl,
             description=description,
             io_bound=io_bound,
             build_exec_plan=build_exec_plan,
-        )
+        ),
+        planner=planner,
     )
 
 
-def lint_config(config: "LintConfig | str") -> LintReport:
+def _with_planner(target: LintTarget, report: LintReport) -> LintReport:
+    """Append the planner tiers (RL5xx/RL6xx) to a design-tier report.
+
+    The planner tiers run through :func:`repro.lint.planner.lint_compiled`
+    so unchanged plans are served from the fingerprint-keyed lint cache;
+    pass lists are disjoint, so merging never duplicates a finding.
+    """
+    from .planner import lint_compiled, planner_pass_names
+
+    if target.exec_plan is None or target.dg is None:
+        return report
+    planner_rep = lint_compiled(
+        target.exec_plan,
+        target.dg,
+        semiring=target.semiring,
+        description=target.description,
+        io_bound=target.io_bound,
+    )
+    report.extend(planner_rep.diagnostics)
+    report.passes_run = report.passes_run + planner_rep.passes_run
+    drop = set(planner_pass_names())
+    report.passes_skipped = (
+        tuple(p for p in report.passes_skipped if p not in drop)
+        + planner_rep.passes_skipped
+    )
+    return report
+
+
+def lint_target(target: LintTarget, planner: bool = False) -> LintReport:
+    """Lint one target; ``planner=True`` adds the compiled-program tiers."""
+    if not planner:
+        return run_lint(target)
+    from .planner import design_pass_names
+
+    report = run_lint(target, passes=list(design_pass_names()))
+    return _with_planner(target, report)
+
+
+def lint_config(
+    config: "LintConfig | str", planner: bool = False
+) -> LintReport:
     """Build one shipped configuration and lint it."""
     if isinstance(config, str):
         by_name = {c.name: c for c in SHIPPED_CONFIGS}
@@ -173,12 +220,12 @@ def lint_config(config: "LintConfig | str") -> LintReport:
                 f"available: {sorted(by_name)}"
             )
         config = by_name[config]
-    return run_lint(config.build())
+    return lint_target(config.build(), planner=planner)
 
 
-def lint_shipped_configs() -> dict[str, LintReport]:
+def lint_shipped_configs(planner: bool = False) -> dict[str, LintReport]:
     """Lint every shipped configuration (the CI gate's workload)."""
-    return {c.name: lint_config(c) for c in SHIPPED_CONFIGS}
+    return {c.name: lint_config(c, planner=planner) for c in SHIPPED_CONFIGS}
 
 
 def preflight(target: LintTarget) -> LintReport:

@@ -39,11 +39,20 @@ __all__ = [
     "RULE_CATALOG",
     "SCHEMA_VERSION",
     "SARIF_VERSION",
+    "HELP_URI_BASE",
 ]
 
 #: Schema version stamped into the ``--format json`` artefact (the PR 2
 #: convention: every machine-readable artefact is versioned).
-SCHEMA_VERSION = 1
+#: v2: findings are deduplicated (preflight + explicit CLI runs in one
+#: process used to repeat identical diagnostics), and each finding
+#: carries a ``suggestion`` field (machine-actionable fix).
+SCHEMA_VERSION = 2
+
+#: Stable anchor base for SARIF ``helpUri`` rule links.
+HELP_URI_BASE = (
+    "https://example.invalid/repro/docs/static-analysis.md"
+)
 
 #: SARIF spec version emitted by :meth:`LintReport.to_sarif`.
 SARIF_VERSION = "2.1.0"
@@ -82,12 +91,17 @@ class Diagnostic:
     dependence-graph node ids, ``edges`` are ``(producer, consumer)``
     pairs, ``gsets`` are G-set (or G-node) ids, ``cells`` are array
     cell ids.  Any subset may be empty.
+
+    ``hint`` explains the finding; ``suggestion`` is the concrete fix
+    action (rendered as a SARIF ``fixes`` entry so code-scanning UIs
+    can offer it), e.g. "recompile the plan with compile_plan()".
     """
 
     code: str
     severity: Severity
     message: str
     hint: str = ""
+    suggestion: str = ""
     nodes: tuple[Hashable, ...] = ()
     edges: tuple[tuple[Hashable, Hashable], ...] = ()
     gsets: tuple[Hashable, ...] = ()
@@ -118,6 +132,7 @@ class Diagnostic:
             "severity": self.severity.value,
             "message": self.message,
             "hint": self.hint,
+            "suggestion": self.suggestion,
             "nodes": [_fmt_id(n) for n in self.nodes],
             "edges": [[_fmt_id(u), _fmt_id(v)] for u, v in self.edges],
             "gsets": [_fmt_id(s) for s in self.gsets],
@@ -274,6 +289,114 @@ RULE_CATALOG: dict[str, RuleInfo] = {
             "rebuild the resume from the checkpoint store and the "
             "re-partitioned G-set plan; never edit a recovery plan by hand",
         ),
+        RuleInfo(
+            "RL501",
+            "value-program slot coverage broken",
+            "every scheduled OP firing appears in exactly one depth-batch "
+            "of the compiled value program, every slot has exactly one "
+            "producer, and the program's inputs/outputs match the graph's",
+            "Sec. 3 (the plan executes every node once)",
+            "recompile with compile_plan(); never edit a CompiledPlan's "
+            "slot or step arrays by hand",
+        ),
+        RuleInfo(
+            "RL502",
+            "depth-batch causality violation",
+            "no batch reads a slot produced by the same or a later batch "
+            "in replay order (batches execute in dependence-depth order)",
+            "Sec. 1-3 (dataflow order is preserved by the compile)",
+            "recompile with compile_plan(); depth batching derives the "
+            "batch order from the dependence graph, not from the editor",
+        ),
+        RuleInfo(
+            "RL503",
+            "semiring-step typing mismatch",
+            "every batch opcode has batched semantics, carries the "
+            "operand roles its semantics function expects, is legal on "
+            "the semiring's dtype, and the program's opcode census "
+            "matches the graph's",
+            "Sec. 1 (algorithm algebra) / PR 5 (VECTOR_OPCODES)",
+            "recompile against the intended semiring; field opcodes "
+            "(div/recip/...) need a float or complex dtype",
+        ),
+        RuleInfo(
+            "RL504",
+            "scatter/gather index out of bounds",
+            "every slot index the program scatters or gathers (inputs, "
+            "constants, batch operands/outputs, graph outputs) lies in "
+            "[0, n_slots) and index arrays are integral and consistent",
+            "- (memory-safety of the replay)",
+            "recompile with compile_plan(); an out-of-range index would "
+            "read or write outside the value array",
+        ),
+        RuleInfo(
+            "RL505",
+            "unexpected vector-fallback reason",
+            "every repro_vector_fallback_total reason recorded this "
+            "process is one the backend documents (probe, inject, "
+            "unvectorizable)",
+            "- (PR 5 fallback contract)",
+            "an unknown reason means a new fallback path shipped without "
+            "being audited; add it to ALLOWED_FALLBACK_REASONS after "
+            "review or fix the caller",
+        ),
+        RuleInfo(
+            "RL601",
+            "makespan disagrees with the critical-path bound",
+            "the recorded makespan never undercuts the constraint DAG's "
+            "critical-path lower bound, and the compiled plan's recorded "
+            "makespan equals the execution plan's",
+            "Sec. 3-4 (cycle-accurate timing model)",
+            "recompile the plan; a makespan below the critical path is "
+            "unexecutable, and slack above it means the schedule idles",
+        ),
+        RuleInfo(
+            "RL602",
+            "recorded static measure mismatch",
+            "the compiled plan's recorded busy/useful counts and memory "
+            "traffic equal an independent recount over the schedule "
+            "(same timing rules as the reference interpreter)",
+            "Sec. 3 / Figs. 18-19 (memory traffic model)",
+            "recompile with compile_plan(); downstream perf gates and "
+            "dashboards trust these recorded measures",
+        ),
+        RuleInfo(
+            "RL603",
+            "host I/O demand exceeds the Fig. 21 bound (static)",
+            "the compiled plan's aggregate input demand (words per "
+            "cycle over the whole run) stays within the m/n words/cycle "
+            "the R-block chain provides",
+            "Sec. 4.2 / Fig. 21",
+            "use the aligned G-set selection and the vertical-path "
+            "schedule so input G-sets are spaced apart",
+        ),
+        RuleInfo(
+            "RL604",
+            "value program fragments into narrow batches",
+            "the batched replay pays per-step dispatch overhead; many "
+            "narrow depth-batches forfeit the vector backend's advantage",
+            "- (PR 5 performance model)",
+            "regroup the computation (wider G-sets, fewer depth levels) "
+            "or run this design on the reference interpreter",
+        ),
+        RuleInfo(
+            "RL605",
+            "chronic cell underutilization",
+            "cells spend most cycles idle (busy well below cells x "
+            "makespan) - the paper's 'might not use all cells' loss",
+            "Sec. 2 / Figs. 8, 22",
+            "choose m closer to a divisor of the G-graph width, or "
+            "regroup along uniform-time paths",
+        ),
+        RuleInfo(
+            "RL606",
+            "host-bandwidth headroom exhausted",
+            "aggregate input demand approaches the Fig. 21 bound so "
+            "closely that any schedule perturbation would starve cells",
+            "Sec. 4.2 / Fig. 21",
+            "increase the spacing of input G-sets in the pile order or "
+            "provision the next m (more R-blocks) before growing n",
+        ),
     )
 }
 
@@ -352,6 +475,16 @@ class LintReport:
         """Append findings (used by the pass runner)."""
         self.diagnostics.extend(diags)
 
+    def unique_diagnostics(self) -> list[Diagnostic]:
+        """Findings with exact duplicates removed, first occurrence wins.
+
+        A preflight hook and an explicit CLI run in the same process can
+        both report the same finding over the same design; the JSON and
+        SARIF artefacts deduplicate so consumers do not double-count
+        (schema v2 behaviour).
+        """
+        return list(dict.fromkeys(self.diagnostics))
+
     # ------------------------------------------------------------------
     # Renderers
     # ------------------------------------------------------------------
@@ -369,6 +502,8 @@ class LintReport:
             )
             if d.hint:
                 lines.append(f"          hint: {d.hint}")
+            if d.suggestion:
+                lines.append(f"           fix: {d.suggestion}")
         c = self.counts()
         lines.append(
             f"  {c['error']} error(s), {c['warning']} warning(s), "
@@ -378,15 +513,30 @@ class LintReport:
         return "\n".join(lines)
 
     def to_dict(self) -> dict[str, Any]:
-        """Versioned JSON-safe document (the ``--format json`` artefact)."""
+        """Versioned JSON-safe document (the ``--format json`` artefact).
+
+        Findings are deduplicated (:meth:`unique_diagnostics`) and the
+        summary counts the deduplicated findings, so the artefact is
+        stable no matter how many times the same pass reported over the
+        same design in this process.
+        """
+        uniq = self.unique_diagnostics()
         return {
             "version": SCHEMA_VERSION,
             "target": self.target,
-            "summary": self.counts(),
+            "summary": {
+                "error": sum(
+                    1 for d in uniq if d.severity is Severity.ERROR
+                ),
+                "warning": sum(
+                    1 for d in uniq if d.severity is Severity.WARNING
+                ),
+                "info": sum(1 for d in uniq if d.severity is Severity.INFO),
+            },
             "ok": self.ok,
             "passes_run": list(self.passes_run),
             "passes_skipped": list(self.passes_skipped),
-            "findings": [d.to_dict() for d in self.diagnostics],
+            "findings": [d.to_dict() for d in uniq],
         }
 
     def to_json(self, indent: int | None = 2) -> str:
@@ -394,20 +544,30 @@ class LintReport:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
 
     def to_sarif(self) -> dict[str, Any]:
-        """SARIF 2.1.0 document (one run, logical locations only)."""
+        """SARIF 2.1.0 document (one run, logical locations only).
+
+        Rules carry ``name``/``helpUri``/full descriptions and results
+        carry ``fixes`` (from :attr:`Diagnostic.suggestion`) so the
+        artefact is consumable by GitHub code scanning.  Results are
+        deduplicated like the JSON artefact.
+        """
         rules = [
             {
                 "id": info.code,
+                "name": info.summary.title().replace(" ", "").replace(
+                    "-", ""
+                ).replace("/", ""),
                 "shortDescription": {"text": info.summary},
                 "fullDescription": {
                     "text": f"{info.invariant} (paper: {info.paper_ref})"
                 },
                 "help": {"text": info.hint},
+                "helpUri": f"{HELP_URI_BASE}#{info.code.lower()}",
             }
             for info in sorted(RULE_CATALOG.values(), key=lambda r: r.code)
         ]
         results = []
-        for d in self.diagnostics:
+        for d in self.unique_diagnostics():
             logical = []
             for n in d.nodes:
                 logical.append({"name": _fmt_id(n), "kind": "member"})
@@ -428,6 +588,10 @@ class LintReport:
             }
             if logical:
                 result["locations"] = [{"logicalLocations": logical}]
+            if d.suggestion:
+                result["fixes"] = [
+                    {"description": {"text": d.suggestion}}
+                ]
             results.append(result)
         return {
             "version": SARIF_VERSION,
@@ -440,6 +604,7 @@ class LintReport:
                     "tool": {
                         "driver": {
                             "name": "repro-lint",
+                            "version": f"{SCHEMA_VERSION}.0.0",
                             "informationUri": (
                                 "https://example.invalid/repro/docs/"
                                 "static-analysis.md"

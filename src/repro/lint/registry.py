@@ -25,13 +25,23 @@ from .diagnostics import Diagnostic, LintReport, Severity
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guards
     from ..arrays.plan import ExecutionPlan
+    from ..arrays.vector_compile import CompiledPlan
     from ..core.ggraph import GGraph
     from ..core.graph import DependenceGraph
     from ..core.gsets import GSet, GSetPlan
     from ..core.partitioner import PartitionedImplementation
+    from ..core.semiring import Semiring
     from ..resilience.checkpoint import RecoveryPlan
 
-__all__ = ["LintTarget", "LintPass", "lint_pass", "all_passes", "run_lint"]
+__all__ = [
+    "LintTarget",
+    "LintPass",
+    "lint_pass",
+    "all_passes",
+    "run_lint",
+    "PLANNER_STAGES",
+    "stage_of",
+]
 
 
 @dataclass
@@ -62,6 +72,15 @@ class LintTarget:
         A mid-run :class:`repro.resilience.checkpoint.RecoveryPlan` for
         the RL4xx resilience passes; the resilience runtime lints one
         before resuming on a degraded array.
+    compiled:
+        The compiled NumPy value program
+        (:class:`repro.arrays.vector_compile.CompiledPlan`) for the
+        RL5xx plan-verification and RL6xx static-cost passes; attach it
+        via :func:`repro.lint.planner.attach_compiled` or pass one
+        corrupted by the miscompile corpus.
+    semiring:
+        The algebra the value program was compiled against (defaults to
+        the compiled plan's own when ``None``).
     """
 
     description: str = "design"
@@ -73,6 +92,8 @@ class LintTarget:
     io_bound: Fraction | None = None
     fanout_threshold: int = 2
     recovery: "RecoveryPlan | None" = None
+    compiled: "CompiledPlan | None" = None
+    semiring: "Semiring | None" = None
 
     @classmethod
     def from_graph(
@@ -128,7 +149,22 @@ class LintPass:
 #: independent of which pass module happens to be imported first.
 _REGISTRY: dict[str, LintPass] = {}
 
-_STAGE_ORDER = {"graph": 0, "schedule": 1, "array": 2, "recovery": 3}
+_STAGE_ORDER = {
+    "graph": 0,
+    "schedule": 1,
+    "array": 2,
+    "recovery": 3,
+    "plan": 4,
+    "cost": 5,
+}
+
+#: Stages that read the compiled value program (the ``--planner`` tiers).
+PLANNER_STAGES = frozenset({"plan", "cost"})
+
+
+def stage_of(pass_name: str) -> str:
+    """The stage prefix of a pass name (``"plan.coverage"`` -> ``"plan"``)."""
+    return pass_name.split(".", 1)[0]
 
 
 def _ordered(passes: Iterable[LintPass]) -> list[LintPass]:
@@ -168,12 +204,14 @@ def _ensure_loaded() -> None:
     """Import the pass modules so their registrations run.
 
     Import order is registration order is execution order:
-    graph -> schedule -> array -> recovery.
+    graph -> schedule -> array -> recovery -> plan -> cost.
     """
     from . import passes_graph  # noqa: F401
     from . import passes_schedule  # noqa: F401
     from . import passes_array  # noqa: F401
     from . import passes_recovery  # noqa: F401
+    from . import passes_plan  # noqa: F401
+    from . import passes_cost  # noqa: F401
 
 
 def run_lint(

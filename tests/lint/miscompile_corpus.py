@@ -1,0 +1,130 @@
+"""Seeded miscompile corpus for the RL5xx plan-verification passes.
+
+Each injector takes a *correct* compiled value program (straight out of
+:func:`repro.arrays.vector_compile.compile_plan`) and applies one
+targeted corruption — the defect class its RL5xx code documents in
+``docs/static-analysis.md``:
+
+* :func:`drop_slot` — a scheduled firing silently vanishes from its
+  depth-batch (RL501: slot coverage);
+* :func:`swap_batch_order` — batches replay out of depth order, reading
+  slots no earlier batch produced (RL502: causality);
+* :func:`wrong_semiring_step` — a MAC batch is retyped as a field
+  multiply, changing the opcode census (RL503: semiring typing);
+* :func:`out_of_range_gather` — one gather index points past the slot
+  array (RL504: index-bounds soundness).
+
+The injectors are pure: they return a new :class:`CompiledPlan` built
+with :func:`dataclasses.replace` and never mutate the input (or the
+process-wide compile cache).  ``tests/lint/test_plan_passes.py`` proves
+each corruption is caught by exactly the pass that documents it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.arrays.vector_compile import CompiledPlan, VectorStep, compile_plan
+from repro.core.partitioner import partition_transitive_closure
+from repro.core.semiring import BOOLEAN
+from repro.lint import LintTarget
+
+__all__ = [
+    "clean_target",
+    "drop_slot",
+    "swap_batch_order",
+    "wrong_semiring_step",
+    "out_of_range_gather",
+    "MISCOMPILES",
+]
+
+
+def clean_target(n: int = 9, m: int = 3) -> LintTarget:
+    """A correct design with its freshly compiled value program attached.
+
+    Compiles through :func:`compile_plan` directly (not the cached
+    :func:`get_compiled`) so corrupted copies can never leak into the
+    process-wide compile cache.
+    """
+    impl = partition_transitive_closure(n=n, m=m)
+    compiled = compile_plan(impl.exec_plan, impl.dg, BOOLEAN)
+    return LintTarget(
+        description=f"miscompile corpus base (n={n} m={m})",
+        dg=impl.dg,
+        exec_plan=impl.exec_plan,
+        compiled=compiled,
+        semiring=BOOLEAN,
+    )
+
+
+def _replace_step(
+    cp: CompiledPlan, pos: int, step: VectorStep
+) -> CompiledPlan:
+    steps = list(cp.steps)
+    steps[pos] = step
+    return dataclasses.replace(cp, steps=tuple(steps))
+
+
+def _widest_step(cp: CompiledPlan) -> int:
+    """Position of the widest batch (guaranteed to have >= 2 entries)."""
+    pos = max(range(len(cp.steps)), key=lambda i: cp.steps[i].width)
+    assert cp.steps[pos].width >= 2, "corpus base program is too small"
+    return pos
+
+
+def drop_slot(cp: CompiledPlan) -> CompiledPlan:
+    """RL501: one firing's output entry vanishes from its batch."""
+    pos = _widest_step(cp)
+    step = cp.steps[pos]
+    return _replace_step(
+        cp,
+        pos,
+        dataclasses.replace(
+            step,
+            out_idx=step.out_idx[:-1],
+            role_idx=tuple(idx[:-1] for idx in step.role_idx),
+        ),
+    )
+
+
+def swap_batch_order(cp: CompiledPlan) -> CompiledPlan:
+    """RL502: batches replay in reverse depth order."""
+    assert len(cp.steps) >= 2, "corpus base program is too small"
+    return dataclasses.replace(cp, steps=tuple(reversed(cp.steps)))
+
+
+def wrong_semiring_step(cp: CompiledPlan) -> CompiledPlan:
+    """RL503: a MAC batch is retyped as the wrong semiring step."""
+    pos = next(
+        i for i, s in enumerate(cp.steps) if s.opcode == "mac"
+    )
+    return _replace_step(
+        cp, pos, dataclasses.replace(cp.steps[pos], opcode="mul")
+    )
+
+
+def out_of_range_gather(cp: CompiledPlan) -> CompiledPlan:
+    """RL504: one gather index points past the slot array."""
+    pos = _widest_step(cp)
+    step = cp.steps[pos]
+    idx = np.array(step.role_idx[0], copy=True)
+    idx[-1] = cp.n_slots + 7
+    return _replace_step(
+        cp,
+        pos,
+        dataclasses.replace(
+            step, role_idx=(idx,) + tuple(step.role_idx[1:])
+        ),
+    )
+
+
+#: ``code -> (pass name, injector)``: the guaranteed-firing defect each
+#: RL5xx structural pass must catch.
+MISCOMPILES = {
+    "RL501": ("plan.coverage", drop_slot),
+    "RL502": ("plan.causality", swap_batch_order),
+    "RL503": ("plan.typing", wrong_semiring_step),
+    "RL504": ("plan.bounds", out_of_range_gather),
+}

@@ -1,0 +1,117 @@
+"""Lint baselines: build/roundtrip, suppression, staleness, error gating."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.lint import (
+    Diagnostic,
+    LintReport,
+    Severity,
+    apply_baseline,
+    build_baseline,
+    diff_baseline,
+    finding_key,
+    load_baseline,
+    save_baseline,
+)
+from repro.lint.baseline import BASELINE_VERSION
+
+
+def _warn(code: str = "RL304", message: str = "bunching") -> Diagnostic:
+    return Diagnostic(code=code, severity=Severity.WARNING, message=message)
+
+
+def _err(code: str = "RL201", message: str = "causality") -> Diagnostic:
+    return Diagnostic(code=code, severity=Severity.ERROR, message=message)
+
+
+def _reports(*diags: Diagnostic, target: str = "cfg") -> dict:
+    return {target: LintReport(target=target, diagnostics=list(diags))}
+
+
+def test_build_save_load_roundtrip(tmp_path) -> None:
+    reports = _reports(_warn(), _err())
+    doc = build_baseline(reports)
+    assert doc["version"] == BASELINE_VERSION
+    assert doc["tool"] == "repro-lint"
+    # Only the warning is accepted debt; the error is never baselined.
+    assert len(doc["findings"]) == 1
+    (entry,) = doc["findings"].values()
+    assert entry["code"] == "RL304" and entry["severity"] == "warning"
+    path = tmp_path / "lint-baseline.json"
+    save_baseline(path, doc)
+    assert load_baseline(path) == doc
+    assert path.read_text().endswith("\n")
+
+
+def test_load_rejects_foreign_and_versioned_files(tmp_path) -> None:
+    path = tmp_path / "x.json"
+    path.write_text(json.dumps({"tool": "other", "version": 1}))
+    with pytest.raises(ValueError, match="not a repro-lint baseline"):
+        load_baseline(path)
+    path.write_text(
+        json.dumps({"tool": "repro-lint", "version": 99, "findings": {}})
+    )
+    with pytest.raises(ValueError, match="version"):
+        load_baseline(path)
+    path.write_text(json.dumps({"tool": "repro-lint", "version": 1}))
+    with pytest.raises(ValueError, match="findings"):
+        load_baseline(path)
+
+
+def test_diff_splits_new_suppressed_stale() -> None:
+    accepted = _warn("RL304", "accepted")
+    baseline = build_baseline(_reports(accepted, _warn("RL303", "paid")))
+    now = _reports(accepted, _warn("RL304", "brand new"))
+    diff = diff_baseline(now, baseline)
+    assert [d.message for _t, d in diff.suppressed] == ["accepted"]
+    assert [d.message for _t, d in diff.new] == ["brand new"]
+    assert len(diff.stale) == 1  # "paid" debt no longer fires
+    assert diff.new_errors == []
+    assert "1 suppressed, 1 new (0 error(s)), 1 stale entry" in (
+        diff.summary()
+    )
+
+
+def test_errors_are_never_suppressed() -> None:
+    # Even a baseline entry hand-forged for an error does not suppress.
+    err = _err()
+    baseline = build_baseline(_reports(err, _warn()))
+    baseline["findings"][finding_key("cfg", err)] = {
+        "target": "cfg",
+        "code": err.code,
+        "severity": "error",
+        "message": err.message,
+    }
+    diff = diff_baseline(_reports(err, _warn()), baseline)
+    assert diff.new_errors == [("cfg", err)]
+
+
+def test_identity_is_conservative() -> None:
+    baseline = build_baseline(_reports(_warn(message="old text")))
+    diff = diff_baseline(_reports(_warn(message="new text")), baseline)
+    # Editing the message invalidates the suppression.
+    assert len(diff.new) == 1 and len(diff.stale) == 1
+
+
+def test_apply_baseline_strips_suppressed_in_place() -> None:
+    accepted = _warn()
+    reports = _reports(accepted, _err())
+    baseline = build_baseline(_reports(accepted))
+    diff = apply_baseline(reports, baseline)
+    assert [d.severity for d in reports["cfg"].diagnostics] == [
+        Severity.ERROR
+    ]
+    assert len(diff.suppressed) == 1
+    assert diff.to_dict()["suppressed"][0]["code"] == "RL304"
+
+
+def test_diff_to_dict_is_json_serializable() -> None:
+    baseline = build_baseline(_reports(_warn()))
+    diff = diff_baseline(_reports(_warn(), _err()), baseline)
+    doc = json.loads(json.dumps(diff.to_dict()))
+    assert doc["version"] == BASELINE_VERSION
+    assert [f["code"] for f in doc["new"]] == ["RL201"]

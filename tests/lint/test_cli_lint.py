@@ -79,6 +79,101 @@ def test_lint_experiments_sweeps_all_configs(tmp_path, capsys) -> None:
     assert len(doc["runs"]) == 7  # one SARIF run per shipped design
 
 
+def test_lint_planner_runs_the_plan_and_cost_tiers(capsys) -> None:
+    assert main([
+        "lint", "--config", "linear-n9-m3", "--planner",
+        "--format", "json",
+    ]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    report = doc["reports"]["linear-n9-m3"]
+    run = set(report["passes_run"])
+    assert {"plan.coverage", "plan.causality", "cost.makespan"} <= run
+    assert report["ok"] is True
+
+
+def test_lint_planner_flags_the_fixed_array_utilization(capsys) -> None:
+    assert main(["lint", "--config", "fixed-n9", "--planner"]) == 0
+    out = capsys.readouterr().out
+    assert "RL605" in out
+    assert "fix:" in out  # the suggestion renders in text output
+
+
+def test_lint_baseline_update_and_suppress_cycle(tmp_path, capsys) -> None:
+    baseline = tmp_path / "bl.json"
+    assert main([
+        "lint", "--config", "mesh-n8-m4",
+        "--baseline", str(baseline), "--update-baseline",
+    ]) == 0
+    assert "baseline: wrote 1 accepted finding(s)" in (
+        capsys.readouterr().out
+    )
+    diff_out = tmp_path / "diff.json"
+    assert main([
+        "lint", "--config", "mesh-n8-m4",
+        "--baseline", str(baseline),
+        "--baseline-diff-out", str(diff_out),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "RL304" not in out  # suppressed by the baseline
+    assert "1 suppressed, 0 new" in out
+    diff = json.loads(diff_out.read_text())
+    assert diff["new"] == [] and len(diff["suppressed"]) == 1
+
+
+def test_lint_baseline_usage_errors(tmp_path, capsys) -> None:
+    assert main(["lint", "--update-baseline"]) == 2
+    assert "--update-baseline needs --baseline" in (
+        capsys.readouterr().err
+    )
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"tool": "other"}))
+    assert main([
+        "lint", "--config", "linear-n9-m3", "--baseline", str(bad),
+    ]) == 2
+    assert "not a repro-lint baseline" in capsys.readouterr().err
+    assert main([
+        "lint", "--config", "linear-n9-m3",
+        "--baseline-diff-out", str(tmp_path / "d.json"),
+    ]) == 2
+
+
+def test_lint_from_run_lints_the_recorded_plan(
+    tmp_path, capsys, monkeypatch
+) -> None:
+    monkeypatch.setenv("REPRO_RUNLOG_DIR", str(tmp_path))
+    from repro.arrays.vector_compile import clear_compiled_cache
+    from repro.obs import runlog
+
+    clear_compiled_cache()
+    assert main([
+        "partition", "--n", "6", "--m", "3", "--simulate",
+        "--backend", "vector",
+    ]) == 0
+    capsys.readouterr()
+    summaries = runlog.list_runs(str(tmp_path))
+    run_id = summaries[0]["run"]
+    assert main([
+        "lint", "--from-run", run_id, "--dir", str(tmp_path),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert f"run {run_id}" in out
+    assert "plan fingerprint matches the run ledger" in out
+
+
+def test_lint_from_run_missing_ledger_exits_one(tmp_path, capsys) -> None:
+    assert main([
+        "lint", "--from-run", "nope", "--dir", str(tmp_path),
+    ]) == 1
+    assert "no run ledger" in capsys.readouterr().err
+
+
+def test_lint_from_run_conflicts_with_config(capsys) -> None:
+    assert main([
+        "lint", "--from-run", "x", "--config", "linear-n9-m3",
+    ]) == 2
+    assert "mutually exclusive" in capsys.readouterr().err
+
+
 def test_lint_exit_one_on_error_findings(monkeypatch) -> None:
     import repro.lint as lint_pkg
     from repro.lint import Diagnostic, LintReport, Severity
@@ -88,6 +183,8 @@ def test_lint_exit_one_on_error_findings(monkeypatch) -> None:
         Diagnostic(code="RL105", severity=Severity.ERROR, message="cycle")
     ])
     monkeypatch.setattr(
-        lint_pkg, "lint_shipped_configs", lambda: {"broken": bad}
+        lint_pkg,
+        "lint_shipped_configs",
+        lambda planner=False: {"broken": bad},
     )
     assert main(["lint", "--experiments"]) == 1

@@ -89,6 +89,72 @@ def test_report_sarif_structure() -> None:
     json.dumps(doc)
 
 
+def test_diagnostic_suggestion_round_trips() -> None:
+    d = Diagnostic(
+        code="RL501",
+        severity=Severity.ERROR,
+        message="dropped slot",
+        suggestion="recompile with compile_plan()",
+    )
+    assert d.to_dict()["suggestion"] == "recompile with compile_plan()"
+    rep = LintReport(target="t")
+    rep.extend([d])
+    assert "fix: recompile with compile_plan()" in rep.to_text()
+    (res,) = rep.to_sarif()["runs"][0]["results"]
+    assert res["fixes"] == [
+        {"description": {"text": "recompile with compile_plan()"}}
+    ]
+
+
+def test_report_dedupes_identical_diagnostics() -> None:
+    # Preflight and an explicit CLI lint in one process can both append
+    # the same finding; every renderer must show it once (schema v2).
+    rep = LintReport(target="t")
+    rep.extend([_diag(), _diag(), _diag("RL202", Severity.WARNING)])
+    assert len(rep.unique_diagnostics()) == 2
+    doc = json.loads(rep.to_json())
+    assert len(doc["findings"]) == 2
+    assert doc["summary"] == {"error": 1, "warning": 1, "info": 0}
+    sarif = rep.to_sarif()
+    assert len(sarif["runs"][0]["results"]) == 2
+    assert SCHEMA_VERSION >= 2
+
+
+def test_sarif_schema_shape_for_code_scanning() -> None:
+    """The CI artifact must be consumable by GitHub code scanning."""
+    rep = LintReport(target="design-x", passes_run=("graph.broadcast",))
+    rep.extend([
+        _diag(),
+        Diagnostic(
+            code="RL605",
+            severity=Severity.WARNING,
+            message="cells idle",
+            suggestion="choose m closer to a divisor",
+        ),
+    ])
+    doc = rep.to_sarif()
+    assert doc["version"] == SARIF_VERSION
+    assert "sarif-schema-2.1.0" in doc["$schema"]
+    (run,) = doc["runs"]
+    driver = run["tool"]["driver"]
+    assert driver["name"] and driver["version"]
+    rules_by_id = {r["id"]: r for r in driver["rules"]}
+    assert set(rules_by_id) == set(RULE_CATALOG)
+    for rule in rules_by_id.values():
+        assert rule["name"] and " " not in rule["name"]
+        assert rule["shortDescription"]["text"]
+        assert rule["fullDescription"]["text"]
+        assert rule["help"]["text"]
+        assert rule["helpUri"].endswith(f"#{rule['id'].lower()}")
+    for res in run["results"]:
+        assert res["ruleId"] in rules_by_id
+        assert res["level"] in {"note", "warning", "error"}
+        assert res["message"]["text"]
+        for fix in res.get("fixes", ()):
+            assert fix["description"]["text"]
+    json.dumps(doc)
+
+
 def test_lint_error_summarises_first_findings() -> None:
     rep = LintReport(target="t")
     rep.extend([_diag(f"RL10{i}") for i in range(1, 6)])

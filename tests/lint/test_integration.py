@@ -24,7 +24,7 @@ from repro.lint import (
 def test_pass_order_is_graph_schedule_array() -> None:
     names = [p.name for p in all_passes()]
     prefixes = [n.split(".")[0] for n in names]
-    stages = ("graph", "schedule", "array", "recovery")
+    stages = ("graph", "schedule", "array", "recovery", "plan", "cost")
     assert prefixes == sorted(prefixes, key=stages.index)
     assert len(names) == len(set(names))
 
