@@ -67,6 +67,19 @@ class FaultReport:
         """Cells retired per failure scenario (bypass vs row retirement)."""
         return self.m - self.cells_used
 
+    @property
+    def availability(self) -> Fraction:
+        """Fraction of the array's cells still in service (<= 1).
+
+        The static steady-state view of
+        :attr:`repro.resilience.runtime.RecoveryResult.availability`:
+        that measured number integrates each cell's live cycles over
+        one faulty run, while this one assumes the failures happened
+        before the run — the limit the measured availability approaches
+        as onsets move toward cycle 0.
+        """
+        return Fraction(self.cells_used, self.m)
+
 
 def degraded_linear(gg: GGraph, m: int, failures: int = 1) -> FaultReport:
     """Linear array with ``failures`` bypassed cells: chain of ``m-f``."""

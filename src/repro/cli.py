@@ -140,6 +140,27 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--kinds", default=None, metavar="K1,K2",
                    help="comma-separated fault kinds to inject "
                         "(permanent, transient, dropped_word; default: all)")
+    s.add_argument("--regime", default=None,
+                   choices=("correlated", "bursty", "hammer", "all"),
+                   help="arm a whole failure-regime fault plan per config "
+                        "instead of single-fault cells, under the adaptive "
+                        "policy (quarantine + graceful degradation); "
+                        "'all' runs every regime")
+    s.add_argument("--cluster-radius", type=int, default=None, metavar="R",
+                   help="correlated regime: cells within R hops of the "
+                        "epicenter die (default 1)")
+    s.add_argument("--burst-enter", type=float, default=None, metavar="P",
+                   help="bursty regime: per-cycle good->bad probability "
+                        "of the Gilbert-Elliott chain (default 0.15)")
+    s.add_argument("--burst-exit", type=float, default=None, metavar="P",
+                   help="bursty regime: per-cycle bad->good probability "
+                        "(default 0.5)")
+    s.add_argument("--hammer-strikes", type=int, default=None, metavar="K",
+                   help="hammer regime: transient strikes on the targeted "
+                        "cell (default 4)")
+    s.add_argument("--summary-out", metavar="FILE", default=None,
+                   help="write the per-regime aggregate summary JSON "
+                        "(the CI faults job's artifact)")
     s.add_argument("--format", choices=("text", "json"), default="text")
     s.add_argument("--out", metavar="FILE", default=None,
                    help="write the report to FILE instead of stdout")
@@ -339,6 +360,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run-ledger directory for the run-history panel "
                         "(default: REPRO_RUNLOG_DIR or ./runs; skipped "
                         "when missing)")
+    s.add_argument("--regimes", action="store_true",
+                   help="run the compact failure-regime campaign and "
+                        "render the Failure regimes panel (correlated / "
+                        "bursty / hammer under the adaptive policy)")
     return p
 
 
@@ -677,16 +702,36 @@ def _cmd_faults(args) -> int:
             return 2
     kinds = None
     if args.kinds:
+        if args.regime:
+            print("faults: --kinds has no effect with --regime "
+                  "(regimes plan their own fault mixes)", file=sys.stderr)
+            return 2
         try:
             kinds = [FaultKind(k.strip()) for k in args.kinds.split(",")]
         except ValueError:
             print("faults: unknown fault kind; choose from "
                   + ", ".join(k.value for k in FaultKind), file=sys.stderr)
             return 2
+    regime = None
+    if args.regime:
+        from .resilience import REGIME_NAMES
+
+        regime = list(REGIME_NAMES) if args.regime == "all" else args.regime
+    regime_knobs = {
+        k: v
+        for k, v in {
+            "radius": args.cluster_radius,
+            "p_enter": args.burst_enter,
+            "p_exit": args.burst_exit,
+            "strikes": args.hammer_strikes,
+        }.items()
+        if v is not None
+    }
 
     result = run_campaign(
         seed=args.seed, configs=configs, kinds=kinds,
         jobs=args.jobs, backend=args.backend,
+        regime=regime, regime_knobs=regime_knobs,
     )
 
     if args.trace_out:
@@ -700,6 +745,15 @@ def _cmd_faults(args) -> int:
         )
         print(f"faults: wrote {len(events)} trace events to {args.trace_out} "
               "-- open in https://ui.perfetto.dev")
+
+    if args.summary_out:
+        summary = result.regime_summary()
+        _write_text(
+            args.summary_out,
+            json.dumps(summary, indent=2, sort_keys=True) + "\n",
+        )
+        print(f"faults: wrote regime summary to {args.summary_out} "
+              f"({len(summary['regimes'])} regime(s))")
 
     if args.format == "json":
         body = json.dumps(result.to_dict(), indent=2, sort_keys=True)
@@ -1173,6 +1227,7 @@ def _cmd_dashboard(args) -> int:
         n=args.n, m=args.m, geometry=args.geometry, policy=args.policy,
         seed=args.seed, sizes=sizes, history_path=history,
         runlog_dir=str(runs_dir) if runs_dir.is_dir() else None,
+        regimes=args.regimes,
     )
     _write_text(args.out, html)
     print(f"dashboard: {args.out} ({len(html):,} bytes"

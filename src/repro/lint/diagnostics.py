@@ -290,6 +290,17 @@ RULE_CATALOG: dict[str, RuleInfo] = {
             "re-partitioned G-set plan; never edit a recovery plan by hand",
         ),
         RuleInfo(
+            "RL402",
+            "recovery policy unsound",
+            "a recovery policy bounds its backoff growth, keeps the "
+            "quarantine threshold reachable within one G-set's attempt "
+            "budget, and prices the degradation tier at a positive "
+            "host cost",
+            "Sec. 5 (degraded linear/mesh operation)",
+            "fix the offending knob; quarantine_strikes=0 disables the "
+            "escalation ladder and degrade=False the degradation tier",
+        ),
+        RuleInfo(
             "RL501",
             "value-program slot coverage broken",
             "every scheduled OP firing appears in exactly one depth-batch "

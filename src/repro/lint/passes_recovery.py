@@ -1,4 +1,4 @@
-"""RL4xx — resilience passes over mid-run recovery plans.
+"""RL4xx — resilience passes over mid-run recovery plans and policies.
 
 After diagnosing a permanent fault the resilience runtime re-partitions
 the uncommitted remainder of the G-graph for the surviving cells and
@@ -13,9 +13,23 @@ resume is sound:
 * the resumed fires plus the checkpointed nodes cover every
   slot-occupying node, so the run can actually complete.
 
-The runtime invokes this pass as a preflight on every re-partition; it
-is also reachable through the ordinary :func:`repro.lint.run_lint`
-surface for tests and tooling.
+RL402 lints the :class:`~repro.resilience.runtime.RecoveryPolicy`
+itself, before the first G-set executes:
+
+* the quarantine threshold must be reachable within one G-set's retry
+  budget (``quarantine_strikes <= max_retries + 1``) — a higher
+  threshold means the budget always exhausts first and the escalation
+  ladder is dead code;
+* backoff growth must be bounded (a known discipline; exponential
+  growth capped at a value no smaller than the base);
+* the graceful-degradation tier, when enabled, must be reachable with
+  a sane host cost model (``degrade_cycles_per_node >= 1``);
+* the plain numeric knobs must be non-negative and the permanent
+  diagnosis must require at least one consecutive implication.
+
+The runtime invokes RL401 as a preflight on every re-partition and
+RL402 once per resilient run; both are also reachable through the
+ordinary :func:`repro.lint.run_lint` surface for tests and tooling.
 """
 
 from __future__ import annotations
@@ -108,5 +122,84 @@ def check_recovery_sound(target: LintTarget) -> Iterable[Diagnostic]:
                 "the G-graph, not a subset",
                 nodes=tuple(uncovered[:_MAX_IDS]),
             )
+        )
+    return diags
+
+
+@lint_pass("recovery.policy-sound", codes=("RL402",), requires=("policy",))
+def check_policy_sound(target: LintTarget) -> Iterable[Diagnostic]:
+    """RL402: the recovery policy has unbounded backoff, an unreachable
+    quarantine threshold or degradation tier, or nonsense knobs."""
+    pol = target.policy
+    assert pol is not None
+    diags: list[Diagnostic] = []
+
+    def err(message: str, hint: str) -> None:
+        diags.append(
+            Diagnostic(
+                code="RL402", severity=Severity.ERROR,
+                message=message, hint=hint,
+            )
+        )
+
+    for knob in (
+        "max_retries", "backoff_cycles", "backoff_cap_cycles",
+        "jitter_cycles", "repartition_cycles", "quarantine_strikes",
+    ):
+        v = getattr(pol, knob)
+        if v < 0:
+            err(
+                f"{knob}={v} is negative",
+                "every cycle/count knob of a RecoveryPolicy is "
+                "non-negative",
+            )
+
+    if pol.backoff not in ("linear", "exponential"):
+        err(
+            f"unknown backoff discipline {pol.backoff!r}",
+            'use "linear" or "exponential"',
+        )
+    elif pol.backoff == "exponential" and (
+        pol.backoff_cap_cycles < pol.backoff_cycles
+    ):
+        err(
+            f"exponential backoff cap ({pol.backoff_cap_cycles}) is below "
+            f"the base ({pol.backoff_cycles}) — growth is not bounded by "
+            "a meaningful cap",
+            "set backoff_cap_cycles >= backoff_cycles so every wait is "
+            "bounded and the first retry is not already clipped",
+        )
+
+    if pol.permanent_threshold < 1:
+        err(
+            f"permanent_threshold={pol.permanent_threshold} — diagnosis "
+            "needs at least one consecutive implication",
+            "use permanent_threshold >= 1",
+        )
+
+    if pol.quarantine_strikes > pol.max_retries + 1:
+        err(
+            f"quarantine_strikes={pol.quarantine_strikes} exceeds the "
+            f"per-set attempt budget ({pol.max_retries + 1}) — a cell "
+            "hammered within one G-set exhausts the budget before the "
+            "escalation ladder can quarantine it",
+            "keep quarantine_strikes <= max_retries + 1 (0 disables "
+            "the ladder)",
+        )
+
+    if pol.degrade and pol.degrade_cycles_per_node < 1:
+        err(
+            f"degrade_cycles_per_node={pol.degrade_cycles_per_node} with "
+            "the degradation tier enabled — host-computed G-sets would "
+            "be free or negative on the run clock",
+            "charge at least one cycle per host-computed node",
+        )
+
+    if not 0.0 < pol.signature_sample_rate <= 1.0:
+        err(
+            f"signature_sample_rate={pol.signature_sample_rate} is "
+            "outside (0, 1]",
+            "a zero sample rate never detects anything; above 1 is "
+            "meaningless",
         )
     return diags

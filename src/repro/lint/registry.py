@@ -32,6 +32,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guards
     from ..core.partitioner import PartitionedImplementation
     from ..core.semiring import Semiring
     from ..resilience.checkpoint import RecoveryPlan
+    from ..resilience.runtime import RecoveryPolicy
 
 __all__ = [
     "LintTarget",
@@ -72,6 +73,10 @@ class LintTarget:
         A mid-run :class:`repro.resilience.checkpoint.RecoveryPlan` for
         the RL4xx resilience passes; the resilience runtime lints one
         before resuming on a degraded array.
+    policy:
+        A :class:`repro.resilience.runtime.RecoveryPolicy` for RL402
+        (policy soundness); the resilience runtime lints the policy as
+        a preflight before the first G-set executes.
     compiled:
         The compiled NumPy value program
         (:class:`repro.arrays.vector_compile.CompiledPlan`) for the
@@ -92,6 +97,7 @@ class LintTarget:
     io_bound: Fraction | None = None
     fanout_threshold: int = 2
     recovery: "RecoveryPlan | None" = None
+    policy: "RecoveryPolicy | None" = None
     compiled: "CompiledPlan | None" = None
     semiring: "Semiring | None" = None
 

@@ -39,6 +39,7 @@ __all__ = [
     "activity_class",
     "cell_grid",
     "collect_run",
+    "collect_regimes",
     "sweep_closed_forms",
     "render_dashboard",
     "build_dashboard",
@@ -472,6 +473,108 @@ def _trajectory_sections(history: Sequence[Mapping], max_exps: int = 8) -> list[
     ]
 
 
+def collect_regimes(
+    seed: int = 0,
+    configs: Sequence[str] = ("linear-n12-m4", "mesh-n8-m4"),
+) -> dict[str, Any]:
+    """Run a compact failure-regime campaign for the dashboard panel.
+
+    Two designs (one linear, one mesh — the mesh is where correlated
+    clusters force the graceful-degradation tier) x every shipped
+    regime, summarized by
+    :meth:`~repro.resilience.campaign.CampaignResult.regime_summary`.
+    """
+    from ..resilience import REGIME_NAMES, run_campaign
+
+    result = run_campaign(
+        seed=seed, configs=list(configs), regime=list(REGIME_NAMES),
+        record_metrics=False,
+    )
+    summary = result.regime_summary()
+    summary["configs"] = list(configs)
+    summary["runs"] = [r.to_dict() for r in result.runs]
+    return summary
+
+
+def _regime_sections(summary: Mapping[str, Any]) -> list[str]:
+    """The Failure regimes panel: per-regime recover/degrade verdicts."""
+    regimes: Mapping[str, Mapping[str, Any]] = summary.get("regimes", {})
+    if not regimes:
+        return []
+    total = sum(g["runs"] for g in regimes.values())
+    good = sum(g["ok"] for g in regimes.values())
+    degraded = sum(g["degraded"] for g in regimes.values())
+    quarantined = sum(g["quarantined"] for g in regimes.values())
+    tiles = (
+        _tile(
+            "Regime cells",
+            f"{good}/{total}",
+            "recovered or gracefully degraded",
+            "status-ok" if good == total else "status-bad",
+        )
+        + _tile("Quarantined cells", str(quarantined), "strike ladder")
+        + _tile("Degraded runs", str(degraded), "host-side completion")
+    )
+    regime_rows = [
+        {
+            "regime": name,
+            "runs": g["runs"],
+            "ok": g["ok"],
+            "recovered": g["recovered"],
+            "degraded": g["degraded"],
+            "quarantined": g["quarantined"],
+            "degraded_gsets": g["degraded_gsets"],
+            "min_availability": (
+                f"{g['min_availability']:.3f}"
+                if g.get("min_availability") is not None else "-"
+            ),
+            "max_slowdown": (
+                f"{g['max_slowdown']:.3f}"
+                if g.get("max_slowdown") is not None else "-"
+            ),
+        }
+        for name, g in sorted(regimes.items())
+    ]
+    run_rows = [
+        {
+            "config": r["config"],
+            "regime": r.get("regime", "-"),
+            "ok": r["ok"],
+            "faults": r.get("faults_planned", "-"),
+            "detections": r["detections"],
+            "retries": r["retries"],
+            "repartitions": r["repartitions"],
+            "quarantined": r.get("quarantined", 0),
+            "degraded_gsets": r.get("degraded_gsets", 0),
+            "availability": (
+                f"{r['availability']:.3f}"
+                if r.get("availability") is not None else "-"
+            ),
+            "mttr_cycles": (
+                f"{r['mttr_cycles']:.1f}"
+                if r.get("mttr_cycles") is not None else "-"
+            ),
+        }
+        for r in summary.get("runs", [])
+    ]
+    note = (
+        '<p class="note">seeded regime campaigns '
+        f"(seed {summary.get('seed', 0)}) under the adaptive policy: "
+        "correlated cluster death, Gilbert-Elliott transient bursts, "
+        "same-cell hammering (<code>repro faults --regime all</code> "
+        "for the full matrix)</p>"
+    )
+    return [
+        '<div class="card"><div class="row">'
+        + tiles
+        + "</div>"
+        + _table(regime_rows)
+        + (_details_table("per-run data", run_rows) if run_rows else "")
+        + note
+        + "</div>"
+    ]
+
+
 def _runlog_sections(summaries: Sequence[Mapping[str, Any]]) -> list[str]:
     """The run-history panel: one row per ledger, newest first."""
     rows = []
@@ -516,6 +619,7 @@ def render_dashboard(
     history: Sequence[Mapping] | None = None,
     title: str = "repro - performance dashboard",
     runlog_summaries: Sequence[Mapping[str, Any]] | None = None,
+    regime_summary: Mapping[str, Any] | None = None,
 ) -> str:
     """Assemble the full HTML document from pre-computed pieces."""
     body: list[str] = [f"<h1>{escape(title)}</h1>"]
@@ -537,10 +641,16 @@ def render_dashboard(
     if history:
         body.append("<h2>Benchmark history (perf trajectory)</h2>")
         body.extend(_trajectory_sections(history))
+    if regime_summary:
+        body.append("<h2>Failure regimes (resilience under fire)</h2>")
+        body.extend(_regime_sections(regime_summary))
     if runlog_summaries:
         body.append("<h2>Run ledger (recent runs)</h2>")
         body.extend(_runlog_sections(runlog_summaries))
-    if run is None and not sweep_rows and not history and not runlog_summaries:
+    if (
+        run is None and not sweep_rows and not history
+        and not runlog_summaries and not regime_summary
+    ):
         body.append('<p class="sub">(nothing to show)</p>')
     return (
         "<!DOCTYPE html><html><head><meta charset='utf-8'>"
@@ -559,12 +669,22 @@ def build_dashboard(
     sizes: Sequence[int] | None = None,
     history_path: str | None = None,
     runlog_dir: str | None = None,
+    regimes: bool = False,
 ) -> str:
-    """Run the pipeline, sweep sizes, load history, render — one call."""
+    """Run the pipeline, sweep sizes, load history, render — one call.
+
+    ``regimes=True`` additionally runs the compact failure-regime
+    campaign (:func:`collect_regimes`) and renders the Failure regimes
+    panel.
+    """
     run = collect_run(n, m, geometry=geometry, policy=policy, seed=seed)
     if sizes is None:
         sizes = sorted({max(4, n - 3), n, n + 3})
     sweep = sweep_closed_forms(sizes, m, geometry=geometry, policy=policy)
     history = load_history(history_path) if history_path else []
     summaries = list_runs(runlog_dir) if runlog_dir else []
-    return render_dashboard(run, sweep, history, runlog_summaries=summaries)
+    regime_summary = collect_regimes(seed=seed) if regimes else None
+    return render_dashboard(
+        run, sweep, history, runlog_summaries=summaries,
+        regime_summary=regime_summary,
+    )

@@ -16,6 +16,10 @@ that argument *measured runtime behaviour*:
   store and the :class:`RecoveryPlan` the RL401 lint pass proves sound;
 * :mod:`~repro.resilience.runtime` — the G-set-stepped executor with
   retries, permanent-fault diagnosis and mid-run re-partitioning;
+* :mod:`~repro.resilience.regimes` — seeded failure-regime planners
+  (spatially correlated clusters, Gilbert–Elliott transient bursts,
+  same-cell hammering) whose multi-fault plans drive the quarantine
+  escalation ladder and the graceful-degradation tier;
 * :mod:`~repro.resilience.campaign` — seeded campaigns over the shipped
   experiment configurations (the CI ``faults`` gate);
 * :mod:`~repro.resilience.report` — recovery timelines in the Chrome
@@ -23,6 +27,7 @@ that argument *measured runtime behaviour*:
 """
 
 from .campaign import (
+    ADAPTIVE_POLICY,
     CAMPAIGN_CONFIGS,
     CampaignConfig,
     CampaignDesign,
@@ -36,8 +41,18 @@ from .campaign import (
 from .checkpoint import CheckpointStore, RecoveryPlan
 from .detect import DetectionEvent, FaultDetected, check_signatures, check_watchdog
 from .faults import AttemptInjector, FaultKind, FaultSpec, Injector, corrupt
+from .regimes import (
+    REGIME_NAMES,
+    BurstyRegime,
+    CorrelatedRegime,
+    FaultPlan,
+    FaultRegime,
+    HammerRegime,
+    make_regime,
+)
 from .report import add_recovery_trace, timeline_chrome_events
 from .runtime import (
+    CellHealth,
     RecoveryExhausted,
     RecoveryPolicy,
     RecoveryResult,
@@ -48,8 +63,17 @@ from .runtime import (
 )
 
 __all__ = [
+    "ADAPTIVE_POLICY",
     "AttemptInjector",
+    "BurstyRegime",
     "CAMPAIGN_CONFIGS",
+    "CellHealth",
+    "CorrelatedRegime",
+    "FaultPlan",
+    "FaultRegime",
+    "HammerRegime",
+    "REGIME_NAMES",
+    "make_regime",
     "CampaignConfig",
     "CampaignDesign",
     "CampaignResult",

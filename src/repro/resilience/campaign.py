@@ -35,6 +35,7 @@ from ..core.semiring import BOOLEAN, Semiring
 from ..obs import runlog
 from ..obs.metrics import get_registry
 from .faults import FaultKind, FaultSpec
+from .regimes import FaultPlan, make_regime
 from .runtime import RecoveryPolicy, RecoveryResult, ResilienceError, run_resilient
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guards
@@ -43,6 +44,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guards
     from ..core.gsets import GSet, GSetPlan
 
 __all__ = [
+    "ADAPTIVE_POLICY",
     "CampaignConfig",
     "CampaignDesign",
     "CampaignRun",
@@ -52,6 +54,21 @@ __all__ = [
     "plan_fault",
     "run_campaign",
 ]
+
+#: The recovery policy regime campaigns run under: capped exponential
+#: backoff with deterministic jitter, a quarantine ladder that retires a
+#: thrice-struck cell instead of burning the budget on it, and the
+#: graceful-degradation tier so a cornered run completes host-side with
+#: ``degraded=True`` rather than raising ``RecoveryExhausted``.
+ADAPTIVE_POLICY = RecoveryPolicy(
+    max_retries=4,
+    backoff="exponential",
+    backoff_cycles=2,
+    backoff_cap_cycles=32,
+    jitter_cycles=3,
+    quarantine_strikes=3,
+    degrade=True,
+)
 
 
 @dataclass(frozen=True)
@@ -222,21 +239,36 @@ class CampaignRun:
     degraded_throughput: Fraction
     error: "str | None" = None
     result: "RecoveryResult | None" = field(default=None, repr=False)
+    #: Set on regime campaign cells (``None`` for classic one-fault runs).
+    regime: "str | None" = None
+    regime_params: "dict[str, Any] | None" = None
+    faults_planned: int = 0
+    quarantined: int = 0
+    degraded_gsets: int = 0
+    degraded_nodes: int = 0
+    availability: "float | None" = None
+    mttr_cycles: "float | None" = None
+
+    @property
+    def degraded(self) -> bool:
+        """True when any G-set completed via the graceful tier."""
+        return self.degraded_gsets > 0
 
     @property
     def ok(self) -> bool:
-        """Injected, detected, recovered, and oracle-correct."""
+        """Injected, detected, oracle-correct, and recovered *or*
+        gracefully degraded (the only tier regime runs may end in)."""
         return (
             self.error is None
             and self.injected
             and self.detected
-            and self.recovered
+            and (self.recovered or self.degraded)
             and self.oracle_ok
         )
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-safe rendering (the heavyweight result object elided)."""
-        return {
+        d = {
             "config": self.config,
             "kind": self.kind,
             "fault": self.fault,
@@ -254,6 +286,17 @@ class CampaignRun:
             "degraded_throughput": float(self.degraded_throughput),
             "error": self.error,
         }
+        if self.regime is not None:
+            d["regime"] = self.regime
+            d["regime_params"] = self.regime_params
+            d["faults_planned"] = self.faults_planned
+            d["quarantined"] = self.quarantined
+            d["degraded"] = self.degraded
+            d["degraded_gsets"] = self.degraded_gsets
+            d["degraded_nodes"] = self.degraded_nodes
+            d["availability"] = self.availability
+            d["mttr_cycles"] = self.mttr_cycles
+        return d
 
 
 @dataclass
@@ -276,6 +319,52 @@ class CampaignResult:
             "runs": [r.to_dict() for r in self.runs],
         }
 
+    def regime_summary(self) -> dict[str, Any]:
+        """Aggregate regime verdicts for CI artifacts and the dashboard.
+
+        Groups the campaign's regime cells by regime name and reports,
+        per regime: runs, how many recovered on-array vs completed via
+        the graceful tier, quarantines, and the worst availability /
+        slowdown observed — the numbers the "Failure regimes" dashboard
+        panel renders.
+        """
+        regimes: dict[str, dict[str, Any]] = {}
+        for r in self.runs:
+            if r.regime is None:
+                continue
+            g = regimes.setdefault(
+                r.regime,
+                {
+                    "runs": 0, "ok": 0, "recovered": 0, "degraded": 0,
+                    "quarantined": 0, "degraded_gsets": 0,
+                    "min_availability": None, "max_slowdown": None,
+                    "params": r.regime_params,
+                },
+            )
+            g["runs"] += 1
+            g["ok"] += int(r.ok)
+            g["recovered"] += int(r.recovered and not r.degraded)
+            g["degraded"] += int(r.degraded)
+            g["quarantined"] += r.quarantined
+            g["degraded_gsets"] += r.degraded_gsets
+            if r.availability is not None:
+                cur = g["min_availability"]
+                g["min_availability"] = (
+                    r.availability if cur is None
+                    else min(cur, r.availability)
+                )
+            if r.healthy_cycles > 0:
+                slow = r.total_cycles / r.healthy_cycles
+                cur = g["max_slowdown"]
+                g["max_slowdown"] = (
+                    slow if cur is None else max(cur, slow)
+                )
+        return {
+            "seed": self.seed,
+            "ok": self.ok,
+            "regimes": regimes,
+        }
+
     def to_text(self) -> str:
         """Human-readable campaign table."""
         lines = [f"fault campaign (seed {self.seed})", ""]
@@ -294,11 +383,17 @@ class CampaignResult:
             )
             if r.error:
                 lines.append(f"    error: {r.error}")
+            if r.regime is not None and (r.quarantined or r.degraded):
+                lines.append(
+                    f"    ladder: {r.quarantined} cell(s) quarantined, "
+                    f"{r.degraded_gsets} G-set(s) host-degraded "
+                    f"({r.degraded_nodes} node(s))"
+                )
         good = sum(1 for r in self.runs if r.ok)
         lines.append("")
         lines.append(
             f"{good}/{len(self.runs)} runs ok "
-            f"(injected, detected, recovered, oracle-verified)"
+            f"(injected, detected, recovered-or-degraded, oracle-verified)"
         )
         return "\n".join(lines)
 
@@ -310,6 +405,8 @@ def _config_runs(
     policy: RecoveryPolicy,
     record_metrics: bool,
     backend: "str | None",
+    regimes: "Sequence[str] | None" = None,
+    regime_knobs: "Mapping[str, Any] | None" = None,
 ) -> list[CampaignRun]:
     """All campaign cells of one configuration (one design build)."""
     cache_before = compiled_cache_info()
@@ -319,10 +416,16 @@ def _config_runs(
             config.n, random.Random(f"{seed}:{config.name}:matrix")
         )
         inputs = tc.make_inputs(a, design.semiring)
-        runs = _kind_runs(
-            seed, config, kinds, policy, record_metrics, backend,
-            design, inputs,
-        )
+        if regimes:
+            runs = _regime_runs(
+                seed, config, regimes, regime_knobs or {}, policy,
+                record_metrics, backend, design, inputs,
+            )
+        else:
+            runs = _kind_runs(
+                seed, config, kinds, policy, record_metrics, backend,
+                design, inputs,
+            )
     cache_after = compiled_cache_info()
     runlog.emit(
         "plan_cache", outcome="summary", config=config.name,
@@ -412,6 +515,121 @@ def _kind_runs(
     return runs
 
 
+def _regime_runs(
+    seed: int,
+    config: CampaignConfig,
+    regimes: "Sequence[str]",
+    regime_knobs: "Mapping[str, Any]",
+    policy: RecoveryPolicy,
+    record_metrics: bool,
+    backend: "str | None",
+    design: CampaignDesign,
+    inputs: "Mapping[NodeId, Any]",
+) -> list[CampaignRun]:
+    """One campaign cell per failure regime against one design.
+
+    Each regime plans its whole multi-fault :class:`~repro.resilience.
+    regimes.FaultPlan` from ``random.Random(f"{seed}:{config}:{regime}")``
+    — the same stringly-deterministic keying as :func:`plan_fault` — and
+    a cell is *ok* when at least one planned fault fired, every fired
+    fault was detected, the output matches the oracle, and the run
+    either recovered on-array or completed via the graceful tier.
+    """
+    runs: list[CampaignRun] = []
+    for name in regimes:
+        regime = make_regime(name, **regime_knobs)
+        rng = random.Random(f"{seed}:{config.name}:{name}")
+        fault_plan: FaultPlan = regime.plan(design, rng)
+        specs = fault_plan.specs()
+        error: "str | None" = None
+        result: "RecoveryResult | None" = None
+        with runlog.stage_scope("campaign.cell", regime=name):
+            runlog.emit(
+                "fault_regime", design=f"{config.name}:{name}",
+                regime=name, params=dict(fault_plan.params),
+                faults=len(specs),
+            )
+            try:
+                result = run_resilient(
+                    design.dg, design.gg, design.plan, design.order,
+                    inputs,
+                    semiring=design.semiring,
+                    faults=specs,
+                    policy=policy,
+                    aligned=config.aligned,
+                    record_metrics=record_metrics,
+                    description=f"{config.name}:{name}",
+                    backend=backend,
+                )
+            except ResilienceError as exc:
+                error = f"{type(exc).__name__}: {exc}"
+        fired = [f for f in specs if f.triggered]
+        fault_desc = "; ".join(f.describe() for f in fault_plan.faults)
+        if result is not None:
+            run = CampaignRun(
+                config=config.name,
+                kind=name,
+                fault=fault_desc,
+                injected=bool(fired),
+                detected=bool(fired) and result.all_faults_detected,
+                recovered=result.recovered,
+                oracle_ok=bool(result.oracle_ok),
+                detections=len(result.detections),
+                retries=result.retries,
+                repartitions=result.repartitions,
+                total_cycles=result.total_cycles,
+                healthy_cycles=result.healthy_cycles,
+                overhead_cycles=result.overhead_cycles,
+                degraded_throughput=result.degraded_throughput,
+                result=result,
+                regime=name,
+                regime_params=dict(fault_plan.params),
+                faults_planned=len(fault_plan.faults),
+                quarantined=len(result.escalations),
+                degraded_gsets=len(result.degraded_sids),
+                degraded_nodes=result.degraded_nodes,
+                availability=float(result.availability),
+                mttr_cycles=result.mttr_cycles,
+            )
+        else:
+            run = CampaignRun(
+                config=config.name,
+                kind=name,
+                fault=fault_desc,
+                injected=bool(fired),
+                detected=False,
+                recovered=False,
+                oracle_ok=False,
+                detections=0,
+                retries=0,
+                repartitions=0,
+                total_cycles=0,
+                healthy_cycles=0,
+                overhead_cycles=0,
+                degraded_throughput=Fraction(0),
+                error=error,
+                regime=name,
+                regime_params=dict(fault_plan.params),
+                faults_planned=len(fault_plan.faults),
+            )
+        runs.append(run)
+        if record_metrics:
+            reg = get_registry()
+            reg.counter(
+                "repro_fault_campaign_runs_total",
+                "campaign runs by config, kind and verdict",
+            ).inc(config=config.name, kind=name, ok=run.ok)
+            reg.counter(
+                "repro_fault_regime_runs_total",
+                "regime campaign cells by regime and verdict",
+            ).inc(regime=name, config=config.name, ok=run.ok)
+            reg.counter(
+                "repro_fault_regime_faults_total",
+                "faults planned by the failure regimes",
+            ).inc(len(fault_plan.faults), regime=name, config=config.name)
+    return runs
+
+
 def _campaign_worker(
     seed: int,
     config: CampaignConfig,
@@ -420,6 +638,8 @@ def _campaign_worker(
     record_metrics: bool,
     backend: "str | None",
     runlog_payload: "dict[str, str] | None" = None,
+    regimes: "tuple[str, ...] | None" = None,
+    regime_knobs: "dict[str, Any] | None" = None,
 ) -> "tuple[list[CampaignRun], dict[str, Any] | None, list[dict[str, Any]]]":
     """One worker process: a fresh registry, one config, all kinds.
 
@@ -437,7 +657,8 @@ def _campaign_worker(
         set_registry(MetricsRegistry())
     with runlog.worker_scope(runlog_payload, task=config.name) as rl:
         runs = _config_runs(
-            seed, config, kinds, policy, record_metrics, backend
+            seed, config, kinds, policy, record_metrics, backend,
+            regimes=regimes, regime_knobs=regime_knobs,
         )
     events = rl.events if rl is not None else []
     if record_metrics:
@@ -449,15 +670,27 @@ def run_campaign(
     seed: int = 0,
     configs: "Sequence[CampaignConfig | str] | None" = None,
     kinds: "Sequence[FaultKind | str] | None" = None,
-    policy: RecoveryPolicy = RecoveryPolicy(),
+    policy: "RecoveryPolicy | None" = None,
     record_metrics: bool = True,
     jobs: "int | None" = None,
     backend: "str | None" = None,
+    regime: "str | Sequence[str] | None" = None,
+    regime_knobs: "Mapping[str, Any] | None" = None,
 ) -> CampaignResult:
-    """Run one seeded campaign: every config x every fault kind.
+    """Run one seeded campaign: every config x every fault kind/regime.
 
-    Each run injects exactly one planned fault and must detect it,
-    recover, and produce the oracle's output.  A
+    Classic campaigns (``regime=None``) inject exactly one planned
+    fault per (config, kind) cell and must detect it, recover, and
+    produce the oracle's output.  Regime campaigns (``regime`` a name
+    from :data:`~repro.resilience.regimes.REGIME_NAMES`, or a sequence
+    of them) instead arm one whole multi-fault
+    :class:`~repro.resilience.regimes.FaultPlan` per (config, regime)
+    cell and run it under :data:`ADAPTIVE_POLICY` (quarantine ladder +
+    graceful degradation) unless ``policy`` overrides; a cell passes
+    when every fired fault is detected and the run recovers *or*
+    degrades gracefully with oracle-correct output.  ``regime_knobs``
+    forwards CLI knob overrides to
+    :func:`~repro.resilience.regimes.make_regime`.  A
     :class:`~repro.resilience.runtime.RecoveryExhausted` (or any
     resilience error) is recorded on the run — the campaign never
     crashes half way — and fails the aggregate verdict.
@@ -479,14 +712,28 @@ def run_campaign(
         FaultKind(k) if isinstance(k, str) else k
         for k in (kinds if kinds is not None else tuple(FaultKind))
     ]
+    regimes: "tuple[str, ...] | None" = None
+    if regime is not None:
+        regimes = (regime,) if isinstance(regime, str) else tuple(regime)
+    if policy is None:
+        policy = ADAPTIVE_POLICY if regimes else RecoveryPolicy()
+    knobs = dict(regime_knobs or {})
     # Run identity: semantic parameters only — never ``jobs``, so a
-    # parallel campaign shares the sequential run's ledger.
-    params = {
+    # parallel campaign shares the sequential run's ledger.  Regime
+    # keys only appear on regime campaigns, keeping the classic
+    # campaign's run IDs stable across this feature.
+    params: dict[str, Any] = {
         "seed": seed,
         "configs": [c.name for c in chosen],
         "kinds": [k.value for k in chosen_kinds],
         "backend": backend,
     }
+    if regimes:
+        params["regimes"] = list(regimes)
+        if knobs:
+            params["regime_knobs"] = {
+                k: knobs[k] for k in sorted(knobs)
+            }
     runs: list[CampaignRun] = []
     with runlog.run_scope("campaign", params) as rl:
         if jobs is not None and jobs > 1 and len(chosen) > 1:
@@ -501,6 +748,7 @@ def run_campaign(
                     pool.submit(
                         _campaign_worker, seed, config, kinds_t, policy,
                         record_metrics, backend, payload,
+                        regimes, knobs,
                     )
                     for config in chosen
                 ]
@@ -520,6 +768,7 @@ def run_campaign(
                         _config_runs(
                             seed, config, chosen_kinds, policy,
                             record_metrics, backend,
+                            regimes=regimes, regime_knobs=knobs,
                         )
                     )
     return CampaignResult(seed=seed, runs=runs)

@@ -50,6 +50,19 @@ class DetectionEvent:
     nodes: tuple[NodeId, ...]
     cells: tuple[Hashable, ...]
 
+    @property
+    def strike_cells(self) -> tuple[Hashable, ...]:
+        """Physical cells this detection charges a *strike* against.
+
+        Only signature mismatches implicate silicon — a dropped word
+        implicates the host channel, so it never advances any cell
+        toward the quarantine threshold (the escalation ladder's
+        per-cell scoreboard consumes exactly this view).
+        """
+        if self.reason != "signature_mismatch":
+            return ()
+        return self.cells
+
 
 class FaultDetected(Exception):
     """A detector found evidence of a fault during one G-set attempt.

@@ -71,6 +71,14 @@ class FaultSpec:
     of a dropped-word fault.  ``triggered`` flips when the fault first
     fires so one-shot faults (transient, dropped word) are consumed by
     their first occurrence.
+
+    ``provenance`` records where the spec came from: ``"injected"``
+    faults were planned by a campaign or test and armed in the
+    simulator; ``"escalated"`` permanents were *synthesized* by the
+    quarantine ladder when a cell's transient strike count crossed the
+    threshold — they are never armed (the silicon may be healthy; the
+    retirement is precautionary) and exist so reports and trace lanes
+    can tell a diagnosed dead cell from a quarantined flaky one.
     """
 
     kind: FaultKind
@@ -78,14 +86,16 @@ class FaultSpec:
     onset: int = 0
     node: NodeId = None
     triggered: bool = field(default=False, compare=False)
+    provenance: str = "injected"
 
     def describe(self) -> str:
         """Compact human-readable form for reports and timelines."""
+        tag = "" if self.provenance == "injected" else f", {self.provenance}"
         if self.kind is FaultKind.PERMANENT:
-            return f"permanent(cell={self.cell!r}, onset={self.onset})"
+            return f"permanent(cell={self.cell!r}, onset={self.onset}{tag})"
         if self.kind is FaultKind.TRANSIENT:
-            return f"transient(node={self.node!r})"
-        return f"dropped_word(node={self.node!r})"
+            return f"transient(node={self.node!r}{tag})"
+        return f"dropped_word(node={self.node!r}{tag})"
 
 
 def corrupt(semiring: Semiring, value: Any) -> Any:

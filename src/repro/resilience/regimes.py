@@ -1,0 +1,329 @@
+"""Failure regimes: seeded generators of correlated and bursty fault plans.
+
+PR 4's campaigns inject *one isolated fault per run* — the regime each
+detector and the recovery ladder were proven against.  Real spatial
+arrays fail differently: neighbouring cells die together (a broken
+power rail or clock spine takes out a stretch of a row), transients
+arrive in temporal bursts under load, and a marginal cell keeps
+producing single-event upsets until it is taken out of service.  This
+module models those three regimes as deterministic, seeded fault
+*planners* over the healthy design:
+
+* :class:`CorrelatedRegime` — spatially correlated multi-cell death: an
+  epicenter cell plus every cell within ``radius`` hops of it (linear
+  chain distance, mesh Manhattan distance) dies permanently, with
+  onsets spread over a small window.  A mesh cluster routinely spans a
+  whole row, which is exactly the retirement unit of the mesh recovery
+  path.
+* :class:`BurstyRegime` — temporally bursty transients from a two-state
+  **Gilbert–Elliott** process walked over the healthy plan's cycle
+  timeline: in the *good* state nothing happens; entering the *bad*
+  state (probability ``p_enter`` per cycle) corrupts each firing of
+  that cycle with probability ``p_corrupt`` until the process exits
+  (probability ``p_exit`` per cycle).  One burst can straddle a G-set
+  boundary, so consecutive sets each detect and retry.
+* :class:`HammerRegime` — repeated transients on *one* cell under
+  sustained load: ``strikes`` single-event upsets targeting firings of
+  the same physical cell across distinct G-sets.  No single detection
+  looks permanent (every retry computes cleanly), but the per-cell
+  strike count climbs — the workload the quarantine escalation ladder
+  exists for.
+
+Planning is stringly deterministic like :func:`~repro.resilience.
+campaign.plan_fault`: the caller seeds ``random.Random(f"{seed}:
+{config}:{regime}")`` and the planners draw from it in a fixed order,
+so the same seed yields a byte-identical :class:`FaultPlan` on every
+platform and process.  Every planned fault is guaranteed to *fire* on
+the healthy schedule (onsets are clamped to each cell's live window;
+transients target nodes that fire exactly once per attempt).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Hashable, Mapping
+
+from ..arrays.plan import partitioned_plan
+from .faults import FaultKind, FaultSpec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.graph import NodeId
+    from .campaign import CampaignDesign
+
+__all__ = [
+    "FaultPlan",
+    "FaultRegime",
+    "CorrelatedRegime",
+    "BurstyRegime",
+    "HammerRegime",
+    "REGIME_NAMES",
+    "make_regime",
+]
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One regime's planned faults against one design (JSON-safe)."""
+
+    regime: str
+    params: tuple[tuple[str, Any], ...]
+    faults: tuple[FaultSpec, ...]
+
+    def to_dict(self) -> dict[str, Any]:
+        """Canonical rendering — byte-identical for identical seeds."""
+        return {
+            "regime": self.regime,
+            "params": {k: v for k, v in self.params},
+            "faults": [f.describe() for f in self.faults],
+        }
+
+    def specs(self) -> list[FaultSpec]:
+        """Fresh armed copies for one resilient run (plans are reusable)."""
+        return [
+            FaultSpec(
+                kind=f.kind, cell=f.cell, onset=f.onset, node=f.node,
+                provenance=f.provenance,
+            )
+            for f in self.faults
+        ]
+
+
+def _healthy_schedule(
+    design: "CampaignDesign",
+) -> "dict[NodeId, tuple[Hashable, int]]":
+    """Node -> (cell, absolute fire cycle) of the healthy plan."""
+    ep = partitioned_plan(design.plan, design.order)
+    return dict(ep.fires)
+
+
+def _last_fire_by_cell(
+    fires: "Mapping[NodeId, tuple[Hashable, int]]",
+) -> dict[Hashable, int]:
+    last: dict[Hashable, int] = {}
+    for cell, t in fires.values():
+        last[cell] = max(last.get(cell, -1), t)
+    return last
+
+
+def _hop_distance(geometry: str, a: Hashable, b: Hashable) -> int:
+    """Topological distance between two cells (chain or Manhattan)."""
+    if geometry == "linear":
+        return abs(int(a) - int(b))  # type: ignore[arg-type]
+    (ar, ac), (br, bc) = a, b  # type: ignore[misc]
+    return abs(ar - br) + abs(ac - bc)
+
+
+class FaultRegime:
+    """Base of the seeded regime planners (`name` + :meth:`plan`)."""
+
+    name: str = "regime"
+
+    def params(self) -> tuple[tuple[str, Any], ...]:
+        """The regime's knob settings, echoed into reports and ledgers."""
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def plan(
+        self, design: "CampaignDesign", rng: random.Random
+    ) -> FaultPlan:
+        """Deterministically target this regime at one design."""
+        raise NotImplementedError  # pragma: no cover - abstract
+
+
+@dataclass(frozen=True)
+class CorrelatedRegime(FaultRegime):
+    """Spatially correlated multi-cell death around a seeded epicenter.
+
+    Every cell within ``radius`` hops of the epicenter (inclusive) dies
+    permanently; onsets start at a seeded cycle in the epicenter's live
+    window and spread forward by at most ``onset_spread`` cycles, each
+    clamped to its own cell's last healthy firing so every member of
+    the cluster is guaranteed to corrupt at least one value.
+    """
+
+    radius: int = 1
+    onset_spread: int = 2
+
+    name = "correlated"
+
+    def params(self) -> tuple[tuple[str, Any], ...]:
+        return (("radius", self.radius), ("onset_spread", self.onset_spread))
+
+    def plan(
+        self, design: "CampaignDesign", rng: random.Random
+    ) -> FaultPlan:
+        fires = _healthy_schedule(design)
+        last = _last_fire_by_cell(fires)
+        cells = sorted(last, key=repr)
+        epicenter = cells[rng.randrange(len(cells))]
+        geometry = design.plan.geometry
+        cluster = [
+            c for c in cells
+            if _hop_distance(geometry, epicenter, c) <= self.radius
+        ]
+        base = rng.randint(0, last[epicenter])
+        faults = []
+        for c in cluster:
+            onset = min(base + rng.randint(0, self.onset_spread), last[c])
+            faults.append(
+                FaultSpec(kind=FaultKind.PERMANENT, cell=c, onset=onset)
+            )
+        return FaultPlan(
+            regime=self.name,
+            params=self.params() + (("epicenter", repr(epicenter)),),
+            faults=tuple(faults),
+        )
+
+
+@dataclass(frozen=True)
+class BurstyRegime(FaultRegime):
+    """Temporally bursty transients via a two-state Gilbert–Elliott chain.
+
+    The chain is stepped once per cycle of the healthy plan's timeline:
+    ``good -> bad`` with probability ``p_enter``, ``bad -> good`` with
+    ``p_exit``.  While *bad*, each node firing that cycle is corrupted
+    with probability ``p_corrupt`` (one transient fault per hit node),
+    up to ``max_faults`` total.  A chain that never produces a hit
+    falls back to one seeded transient so the plan is never empty.
+    """
+
+    p_enter: float = 0.15
+    p_exit: float = 0.5
+    p_corrupt: float = 0.7
+    max_faults: int = 6
+
+    name = "bursty"
+
+    def params(self) -> tuple[tuple[str, Any], ...]:
+        return (
+            ("p_enter", self.p_enter),
+            ("p_exit", self.p_exit),
+            ("p_corrupt", self.p_corrupt),
+            ("max_faults", self.max_faults),
+        )
+
+    def plan(
+        self, design: "CampaignDesign", rng: random.Random
+    ) -> FaultPlan:
+        fires = _healthy_schedule(design)
+        by_cycle: dict[int, list[Any]] = {}
+        for nid, (_cell, t) in fires.items():
+            by_cycle.setdefault(t, []).append(nid)
+        for nodes in by_cycle.values():
+            nodes.sort(key=repr)
+        makespan = max(by_cycle) if by_cycle else 0
+
+        faults: list[FaultSpec] = []
+        bad = False
+        for t in range(makespan + 1):
+            if bad:
+                if rng.random() < self.p_exit:
+                    bad = False
+            elif rng.random() < self.p_enter:
+                bad = True
+            if not bad:
+                continue
+            for nid in by_cycle.get(t, ()):
+                if len(faults) >= self.max_faults:
+                    break
+                if rng.random() < self.p_corrupt:
+                    faults.append(
+                        FaultSpec(kind=FaultKind.TRANSIENT, node=nid)
+                    )
+            if len(faults) >= self.max_faults:
+                break
+        if not faults:
+            slots = sorted(fires, key=repr)
+            faults.append(
+                FaultSpec(
+                    kind=FaultKind.TRANSIENT,
+                    node=slots[rng.randrange(len(slots))],
+                )
+            )
+        return FaultPlan(
+            regime=self.name, params=self.params(), faults=tuple(faults)
+        )
+
+
+@dataclass(frozen=True)
+class HammerRegime(FaultRegime):
+    """Repeated transients hammering one cell across distinct G-sets.
+
+    Picks the seeded cell, then one of its firings in each of up to
+    ``strikes`` distinct G-sets (earliest sets first; when the cell
+    appears in fewer sets than ``strikes``, the last targeted node is
+    struck repeatedly — consecutive attempts each consume one armed
+    copy).  Each strike alone is an ordinary retryable transient; their
+    accumulation is what drives the per-cell strike count past the
+    quarantine threshold.
+    """
+
+    strikes: int = 4
+
+    name = "hammer"
+
+    def params(self) -> tuple[tuple[str, Any], ...]:
+        return (("strikes", self.strikes),)
+
+    def plan(
+        self, design: "CampaignDesign", rng: random.Random
+    ) -> FaultPlan:
+        fires = _healthy_schedule(design)
+        # Nodes grouped per (cell, G-set), preserving pile order.
+        member_set: dict[Any, int] = {}
+        for si, s in enumerate(design.order):
+            for gid in s.gids:
+                for nid in design.gg.gnodes[gid].members:
+                    if nid in fires:
+                        member_set.setdefault(nid, si)
+        per_cell: dict[Hashable, dict[int, list[Any]]] = {}
+        for nid, (cell, _t) in fires.items():
+            si = member_set.get(nid)
+            if si is None:
+                continue
+            per_cell.setdefault(cell, {}).setdefault(si, []).append(nid)
+        cells = sorted(per_cell, key=repr)
+        # Prefer cells spanning the most G-sets: more distinct strike
+        # opportunities, so the ladder is exercised, not the budget.
+        max_sets = max(len(per_cell[c]) for c in cells)
+        eligible = [c for c in cells if len(per_cell[c]) == max_sets]
+        cell = eligible[rng.randrange(len(eligible))]
+        sets = sorted(per_cell[cell])
+        targets: list[Any] = []
+        for si in sets[: self.strikes]:
+            nodes = sorted(per_cell[cell][si], key=repr)
+            targets.append(nodes[rng.randrange(len(nodes))])
+        while len(targets) < self.strikes:
+            targets.append(targets[-1])
+        faults = tuple(
+            FaultSpec(kind=FaultKind.TRANSIENT, node=nid) for nid in targets
+        )
+        return FaultPlan(
+            regime=self.name,
+            params=self.params() + (("cell", repr(cell)),),
+            faults=faults,
+        )
+
+
+#: The shipped regime names, in CLI/report order.
+REGIME_NAMES: tuple[str, ...] = ("correlated", "bursty", "hammer")
+
+
+def make_regime(name: str, **knobs: Any) -> FaultRegime:
+    """Construct a shipped regime by name, applying any knob overrides.
+
+    Knobs irrelevant to the named regime are ignored, so one CLI knob
+    namespace can parameterize all three regimes.
+    """
+    classes: dict[str, type[FaultRegime]] = {
+        "correlated": CorrelatedRegime,
+        "bursty": BurstyRegime,
+        "hammer": HammerRegime,
+    }
+    if name not in classes:
+        raise KeyError(
+            f"unknown failure regime {name!r}; available: {REGIME_NAMES}"
+        )
+    cls = classes[name]
+    fields = {f for f in getattr(cls, "__dataclass_fields__", {})}
+    return cls(**{k: v for k, v in knobs.items() if k in fields and v is not None})

@@ -23,8 +23,11 @@ __all__ = ["RESILIENCE_PID", "timeline_chrome_events", "add_recovery_trace"]
 RESILIENCE_PID = 3
 
 #: One trace thread lane per timeline event kind, in display order.
-_KIND_TIDS = {"gset": 1, "skip": 1, "retry": 2, "backoff": 2, "repartition": 3}
-_TID_NAMES = {1: "commits", 2: "retries", 3: "repartitions"}
+_KIND_TIDS = {
+    "gset": 1, "skip": 1, "retry": 2, "backoff": 2,
+    "repartition": 3, "degrade": 4,
+}
+_TID_NAMES = {1: "commits", 2: "retries", 3: "repartitions", 4: "degraded"}
 
 
 def timeline_chrome_events(result: "RecoveryResult") -> list[dict]:
@@ -58,6 +61,23 @@ def timeline_chrome_events(result: "RecoveryResult") -> list[dict]:
                 "tid": _KIND_TIDS.get(ev.kind, 1),
                 "cat": f"resilience.{ev.kind}",
                 "args": {"gset": repr(ev.sid), "detail": ev.detail},
+            }
+        )
+    for spec in result.escalations:
+        events.append(
+            {
+                "name": f"quarantined: {spec.cell!r}",
+                "ph": "i",
+                "ts": float(spec.onset),
+                "pid": RESILIENCE_PID,
+                "tid": _KIND_TIDS["repartition"],
+                "s": "p",
+                "cat": "resilience.quarantine",
+                "args": {
+                    "cell": repr(spec.cell),
+                    "provenance": spec.provenance,
+                    "fault": spec.describe(),
+                },
             }
         )
     for d in result.detections:

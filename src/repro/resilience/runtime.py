@@ -32,8 +32,9 @@ estimate.
 
 from __future__ import annotations
 
+import hashlib
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Any, Callable, Hashable, Mapping, Sequence
 
@@ -42,7 +43,7 @@ import numpy as np
 from ..algorithms import transitive_closure as tc
 from ..arrays.plan import ExecutionPlan, _mesh_skew
 from ..arrays.topology import linear_topology, mesh_topology
-from ..core.evaluate import evaluate
+from ..core.evaluate import evaluate, evaluate_full
 from ..core.ggraph import GGraph
 from ..core.graph import DependenceGraph, NodeId, NodeKind, PortRef
 from ..core.gsets import GSet, GSetPlan, make_linear_gsets, make_mesh_gsets, schedule_gsets
@@ -53,9 +54,10 @@ from ..obs.metrics import get_registry
 from ..obs.tracing import stage_span
 from .checkpoint import CheckpointStore, RecoveryPlan
 from .detect import DetectionEvent, FaultDetected, check_signatures, check_watchdog
-from .faults import AttemptInjector, FaultSpec
+from .faults import AttemptInjector, FaultKind, FaultSpec
 
 __all__ = [
+    "CellHealth",
     "RecoveryPolicy",
     "ResilienceError",
     "RecoveryExhausted",
@@ -95,14 +97,44 @@ class RecoveryPolicy:
     Attributes
     ----------
     max_retries:
-        Retries allowed per G-set before :class:`RecoveryExhausted`.
+        Retries allowed per G-set before :class:`RecoveryExhausted`
+        (or, with :attr:`degrade`, the graceful-degradation tier).
     backoff_cycles:
-        Base backoff; retry ``r`` of a set waits ``r * backoff_cycles``.
+        Base backoff.  ``backoff="linear"`` waits ``r * backoff_cycles``
+        on retry ``r``; ``"exponential"`` waits
+        ``backoff_cycles * 2**(r-1)`` capped at
+        :attr:`backoff_cap_cycles`.
+    backoff:
+        Backoff growth discipline, ``"linear"`` or ``"exponential"``.
+    backoff_cap_cycles:
+        Upper bound on one exponential backoff wait (RL402 requires the
+        growth to be bounded).
+    jitter_cycles:
+        Deterministic jitter amplitude: retry ``r`` of G-set ``sid``
+        additionally waits ``sha256(f"jitter:{sid}:{r}") %
+        (jitter_cycles + 1)`` cycles — de-synchronizing repeated
+        retries without any platform-dependent randomness.
     permanent_threshold:
         Consecutive signature detections that must implicate one same
         physical cell before it is diagnosed permanent and retired.
+    quarantine_strikes:
+        Escalation ladder: cumulative signature strikes (across the
+        whole run, not necessarily consecutive) after which a cell is
+        *quarantined* as suspected-permanent and the existing
+        re-partition path triggers instead of burning the retry budget
+        on a chronically flaky cell.  ``0`` disables the ladder.
     repartition_cycles:
         Control-plane cost charged for a mid-run re-partition.
+    degrade:
+        Enable the graceful-degradation tier: when the retry budget is
+        exhausted, or a re-partition is impossible (no surviving
+        cells), the affected G-set is retired to a host-side reference
+        computation and the run completes with ``degraded=True``
+        instead of raising :class:`RecoveryExhausted`.
+    degrade_cycles_per_node:
+        Host-side cost model for a degraded G-set: cycles charged per
+        member node computed on the host (the host is slower per value
+        than the array but needs no retries).
     signature_sample_rate:
         Fraction of members whose signatures are recomputed (1.0 — the
         default — is what guarantees every value fault is caught).
@@ -110,16 +142,72 @@ class RecoveryPolicy:
 
     max_retries: int = 4
     backoff_cycles: int = 2
+    backoff: str = "linear"
+    backoff_cap_cycles: int = 64
+    jitter_cycles: int = 0
     permanent_threshold: int = 2
+    quarantine_strikes: int = 0
     repartition_cycles: int = 8
+    degrade: bool = False
+    degrade_cycles_per_node: int = 2
     signature_sample_rate: float = 1.0
+
+
+def _backoff_wait(policy: RecoveryPolicy, sid: tuple, attempt: int) -> int:
+    """Cycles to wait after failed ``attempt`` of G-set ``sid``.
+
+    Deterministic by construction: exponential growth is capped, and
+    jitter comes from a stringly-keyed SHA-256 draw, never a platform
+    RNG — the same policy replays the same waits everywhere.
+    """
+    if policy.backoff == "exponential":
+        base = min(
+            policy.backoff_cycles * (2 ** (attempt - 1)),
+            policy.backoff_cap_cycles,
+        )
+    else:
+        base = policy.backoff_cycles * attempt
+    if policy.jitter_cycles > 0:
+        digest = hashlib.sha256(f"jitter:{sid}:{attempt}".encode()).digest()
+        base += digest[0] % (policy.jitter_cycles + 1)
+    return base
+
+
+@dataclass
+class CellHealth:
+    """One physical cell's health record on the per-run scoreboard.
+
+    ``state`` walks ``healthy -> suspect`` on the first implication and
+    ends in ``retired`` (diagnosed permanent) or ``quarantined``
+    (escalated after :attr:`RecoveryPolicy.quarantine_strikes` strikes);
+    cells never leave a terminal state within one run.
+    """
+
+    cell: Hashable
+    state: str = "healthy"  # healthy | suspect | retired | quarantined
+    strikes: int = 0
+    implicated: int = 0
+    first_implicated: "int | None" = None
+    retired_at: "int | None" = None
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe rendering for reports and campaign summaries."""
+        return {
+            "cell": repr(self.cell),
+            "state": self.state,
+            "strikes": self.strikes,
+            "implicated": self.implicated,
+            "first_implicated": self.first_implicated,
+            "retired_at": self.retired_at,
+        }
 
 
 @dataclass(frozen=True)
 class TimelineEvent:
     """One step of the recovery timeline (renderable as a trace span)."""
 
-    kind: str  # "gset" | "retry" | "backoff" | "repartition" | "skip"
+    # "gset" | "retry" | "backoff" | "repartition" | "skip" | "degrade"
+    kind: str
     sid: tuple
     start: int
     end: int
@@ -148,6 +236,17 @@ class RecoveryResult:
     #: reproduce :func:`repro.arrays.plan.partitioned_plan` exactly).
     fire_cycles: dict[NodeId, int]
     oracle_ok: "bool | None" = None
+    #: G-sets retired to the host-side reference computation (graceful
+    #: degradation) and the member nodes the host computed.
+    degraded_sids: list[tuple] = field(default_factory=list)
+    degraded_nodes: int = 0
+    #: Escalated-to-permanent specs the quarantine ladder synthesized
+    #: (``provenance="escalated"``; never armed in the simulator).
+    escalations: list[FaultSpec] = field(default_factory=list)
+    #: Per-physical-cell health records (initial topology's cells).
+    scoreboard: dict[Hashable, CellHealth] = field(default_factory=dict)
+    #: Cycles from each G-set's first detection to its commit/degrade.
+    repair_cycles: list[int] = field(default_factory=list)
 
     @property
     def overhead_cycles(self) -> int:
@@ -160,6 +259,46 @@ class RecoveryResult:
         if self.total_cycles <= 0:
             return Fraction(0)
         return Fraction(self.healthy_cycles, self.total_cycles)
+
+    @property
+    def slowdown(self) -> Fraction:
+        """``T_run / T_healthy`` (>= 1) — the inverse lens on
+        :attr:`degraded_throughput`, matching
+        :attr:`repro.arrays.faults.FaultReport.slowdown`."""
+        if self.healthy_cycles <= 0:
+            return Fraction(1)
+        return Fraction(self.total_cycles, self.healthy_cycles)
+
+    @property
+    def degraded(self) -> bool:
+        """True when any G-set was retired to the host (graceful tier)."""
+        return bool(self.degraded_sids)
+
+    @property
+    def mttr_cycles(self) -> "float | None":
+        """Mean cycles from a set's first detection to its commit
+        (measured repair time; ``None`` for fault-free runs)."""
+        if not self.repair_cycles:
+            return None
+        return sum(self.repair_cycles) / len(self.repair_cycles)
+
+    @property
+    def availability(self) -> Fraction:
+        """Fraction of cell-cycles the array's cells were in service.
+
+        A cell retired (or quarantined) at clock ``t`` was available
+        for ``t`` of the run's ``total_cycles``; surviving cells for
+        all of them.  1 for a fault-free run, and the per-cell view of
+        the hyper-systolic row-retirement cost as arrays shrink.
+        """
+        if self.total_cycles <= 0 or not self.scoreboard:
+            return Fraction(1)
+        alive = sum(
+            min(h.retired_at, self.total_cycles)
+            if h.retired_at is not None else self.total_cycles
+            for h in self.scoreboard.values()
+        )
+        return Fraction(alive, len(self.scoreboard) * self.total_cycles)
 
     @property
     def recovered(self) -> bool:
@@ -362,6 +501,7 @@ def run_resilient(
     """
     from ..arrays.vector_sim import get_backend, resolve_backend
 
+    _preflight_policy(policy)
     backend_name = resolve_backend(backend)
     simulate = get_backend(backend_name)
 
@@ -411,6 +551,54 @@ def run_resilient(
     implicated_history: list[set[Hashable]] = []
     logged_specs: set[int] = set()
 
+    # Per-physical-cell health scoreboard (escalation ladder state).
+    scoreboard: dict[Hashable, CellHealth] = {
+        c: CellHealth(cell=c) for c in cell_map
+    }
+    escalations: list[FaultSpec] = []
+    degraded_sids: list[tuple] = []
+    degraded_nodes = 0
+    repair_cycles: list[int] = []
+    incident_open: "int | None" = None
+    # Graceful-degradation terminal mode: once a re-partition proves
+    # impossible the array is written off and every remaining G-set
+    # goes straight to the host-side reference computation.
+    host_only = False
+
+    def _host_complete(s: GSet, layout: _SetLayout, start: int, reason: str) -> int:
+        """Graceful degradation: compute one G-set host-side and commit it.
+
+        The host evaluates the attempt subgraph with the reference
+        interpreter — reliable by assumption, like the signature
+        recompute — parks exactly the words the array would have
+        parked, and charges ``degrade_cycles_per_node`` per member on
+        the same run clock every other recovery cost lands on.
+        """
+        nonlocal degraded_nodes
+        sub, sub_inputs, parked_ports = _build_attempt_graph(
+            dg, layout, store, inputs
+        )
+        full = evaluate_full(sub, sub_inputs, semiring)
+        end = start + policy.degrade_cycles_per_node * len(layout.members)
+        parked = {(nid, p): full[nid][p] for nid, p in parked_ports}
+        store.commit(
+            s.sid, layout.members, parked,
+            {nid: end for nid in layout.members},
+        )
+        degraded_sids.append(s.sid)
+        degraded_nodes += len(layout.members)
+        timeline.append(
+            TimelineEvent(
+                "degrade", s.sid, start, end,
+                f"{reason}: {len(layout.members)} node(s) host-computed",
+            )
+        )
+        runlog.emit(
+            "degrade", design=desc, sid=repr(s.sid), reason=reason,
+            nodes=len(layout.members), words=len(parked),
+        )
+        return end
+
     with stage_span(
         "resilience.run", graph=dg.name, geometry=geometry, m=plan.m,
         gsets=len(order), faults=len(faults),
@@ -422,6 +610,15 @@ def run_resilient(
                 timeline.append(
                     TimelineEvent("skip", s.sid, clock, clock, "all committed")
                 )
+                i += 1
+                attempts_this_set = 0
+                implicated_history.clear()
+                continue
+            if host_only:
+                clock = _host_complete(s, layout, clock, "no_survivors")
+                if incident_open is not None:
+                    repair_cycles.append(clock - incident_open)
+                    incident_open = None
                 i += 1
                 attempts_this_set = 0
                 implicated_history.clear()
@@ -514,14 +711,20 @@ def run_resilient(
                     )
                 )
                 retries += 1
-                if attempts_this_set > policy.max_retries:
-                    raise RecoveryExhausted(
-                        s.sid, attempts_this_set, fd.event,
-                        f"retry budget ({policy.max_retries}) exhausted; "
-                        f"last detection: {fd}",
-                    ) from fd
-                # Wasted attempt cycles + linear backoff, on the clock.
-                backoff = policy.backoff_cycles * attempts_this_set
+                if incident_open is None:
+                    incident_open = attempt_end
+                # Scoreboard: every implicated cell takes a strike
+                # (dropped words implicate the channel, not silicon).
+                for cell in fd.event.strike_cells:
+                    h = scoreboard.setdefault(cell, CellHealth(cell=cell))
+                    h.strikes += 1
+                    h.implicated += 1
+                    if h.first_implicated is None:
+                        h.first_implicated = attempt_end
+                    if h.state == "healthy":
+                        h.state = "suspect"
+                # Wasted attempt cycles + backoff, on the clock.
+                backoff = _backoff_wait(policy, s.sid, attempts_this_set)
                 clock = attempt_end + backoff
                 if backoff:
                     timeline.append(
@@ -534,29 +737,80 @@ def run_resilient(
                     implicated_history.append(set(fd.cells))
                 else:
                     implicated_history.clear()  # channel fault, no cell
+                # Escalation ladder: a consecutive-implication diagnosis
+                # wins; otherwise cumulative strikes quarantine a cell
+                # as suspected-permanent, re-using the re-partition path
+                # instead of burning the remaining retry budget.
                 diagnosed = _diagnose(implicated_history, policy)
+                provenance = "diagnosed"
+                if not diagnosed and policy.quarantine_strikes > 0:
+                    diagnosed = {
+                        c for c, h in scoreboard.items()
+                        if h.state == "suspect"
+                        and h.strikes >= policy.quarantine_strikes
+                    }
+                    provenance = "escalated"
                 if diagnosed:
                     retired |= diagnosed
+                    for cell in diagnosed:
+                        h = scoreboard.setdefault(
+                            cell, CellHealth(cell=cell)
+                        )
+                        h.state = (
+                            "retired" if provenance == "diagnosed"
+                            else "quarantined"
+                        )
+                        h.retired_at = clock
+                    if provenance == "escalated":
+                        for cell in sorted(diagnosed, key=repr):
+                            spec = FaultSpec(
+                                kind=FaultKind.PERMANENT, cell=cell,
+                                onset=clock, provenance="escalated",
+                            )
+                            escalations.append(spec)
+                            runlog.emit(
+                                "quarantine", design=desc,
+                                cell=repr(cell),
+                                strikes=scoreboard[cell].strikes,
+                                sid=repr(s.sid),
+                            )
+                    try:
+                        (
+                            queue, i, cur_m, cur_shape, cell_map, topo,
+                        ) = _repartition(
+                            dg, gg, geometry, plan.m, plan.shape, retired,
+                            aligned, reschedule, store, slot_nodes, s.sid,
+                            diagnosed,
+                        )
+                    except RecoveryExhausted:
+                        if not policy.degrade:
+                            raise
+                        # No surviving cells: write the array off and
+                        # complete the remainder on the host.
+                        host_only = True
+                        clock = _host_complete(
+                            s, layout, clock, "no_survivors"
+                        )
+                        if incident_open is not None:
+                            repair_cycles.append(clock - incident_open)
+                            incident_open = None
+                        i += 1
+                        attempts_this_set = 0
+                        implicated_history.clear()
+                        continue
                     repartitions += 1
-                    (
-                        queue, i, cur_m, cur_shape, cell_map, topo,
-                    ) = _repartition(
-                        dg, gg, geometry, plan.m, plan.shape, retired,
-                        aligned, reschedule, store, slot_nodes, s.sid,
-                        diagnosed,
-                    )
                     rep_end = clock + policy.repartition_cycles
                     timeline.append(
                         TimelineEvent(
                             "repartition", s.sid, clock, rep_end,
-                            f"retired {sorted(map(repr, diagnosed))} -> "
-                            f"m={cur_m}",
+                            f"retired {sorted(map(repr, diagnosed))} "
+                            f"({provenance}) -> m={cur_m}",
                         )
                     )
                     runlog.emit(
                         "repartition", design=desc, sid=repr(s.sid),
                         retired=sorted(map(repr, diagnosed)),
-                        new_m=cur_m,
+                        new_m=cur_m, provenance=provenance,
                     )
                     runlog.emit(
                         "checkpoint", action="restore", design=desc,
@@ -567,6 +821,26 @@ def run_resilient(
                     clock = rep_end
                     attempts_this_set = 0
                     implicated_history.clear()
+                    continue
+                if attempts_this_set > policy.max_retries:
+                    if policy.degrade:
+                        # Graceful degradation: this set completes on
+                        # the host; the array keeps the remaining sets.
+                        clock = _host_complete(
+                            s, layout, clock, "retry_exhausted"
+                        )
+                        if incident_open is not None:
+                            repair_cycles.append(clock - incident_open)
+                            incident_open = None
+                        i += 1
+                        attempts_this_set = 0
+                        implicated_history.clear()
+                        continue
+                    raise RecoveryExhausted(
+                        s.sid, attempts_this_set, fd.event,
+                        f"retry budget ({policy.max_retries}) exhausted; "
+                        f"last detection: {fd}",
+                    ) from fd
                 continue
 
             # Committed: park the boundary words, advance the pile clock.
@@ -594,6 +868,9 @@ def run_resilient(
                 )
             )
             clock = attempt_end
+            if incident_open is not None:
+                repair_cycles.append(clock - incident_open)
+                incident_open = None
             i += 1
             attempts_this_set = 0
             implicated_history.clear()
@@ -619,6 +896,8 @@ def run_resilient(
         detected=detected_count, retries=retries,
         repartitions=repartitions, final_m=cur_m,
         total_cycles=clock, overhead_cycles=clock - healthy_cycles,
+        quarantined=len(escalations), degraded_gsets=len(degraded_sids),
+        degraded_nodes=degraded_nodes,
     )
     runlog.emit(
         "oracle", design=desc, checked=bool(verify), ok=oracle_ok,
@@ -642,6 +921,11 @@ def run_resilient(
         fire_cycles=dict(store.fire_cycle),
         timeline=timeline,
         oracle_ok=oracle_ok,
+        degraded_sids=degraded_sids,
+        degraded_nodes=degraded_nodes,
+        escalations=escalations,
+        scoreboard=scoreboard,
+        repair_cycles=repair_cycles,
     )
     if record_metrics:
         _record_metrics(result)
@@ -741,6 +1025,19 @@ def _repartition(
     return new_order, 0, new_m, new_shape, new_cell_map, new_topo
 
 
+def _preflight_policy(policy: RecoveryPolicy) -> None:
+    """RL402 gate: raise :class:`repro.lint.LintError` on an unsound policy."""
+    from ..lint import LintError, LintTarget
+    from ..lint.registry import run_lint
+
+    report = run_lint(
+        LintTarget(description="recovery policy", policy=policy),
+        record_metrics=False,
+    )
+    if not report.ok:
+        raise LintError(report)
+
+
 def _preflight_recovery(rp: RecoveryPlan) -> None:
     """RL401 gate: raise :class:`repro.lint.LintError` on an unsound resume."""
     from ..lint import LintError, LintTarget
@@ -788,6 +1085,25 @@ def _record_metrics(result: RecoveryResult) -> None:
         "repro_fault_words_parked",
         "checkpoint words written to the cut-and-pile memories",
     ).set(result.words_parked, **labels)
+    if result.escalations:
+        reg.counter(
+            "repro_cell_quarantined_total",
+            "cells quarantined as suspected-permanent by the strike ladder",
+        ).inc(len(result.escalations), **labels)
+    if result.degraded:
+        reg.counter(
+            "repro_fault_degraded_gsets_total",
+            "G-sets retired to the host-side reference computation",
+        ).inc(len(result.degraded_sids), **labels)
+    reg.gauge(
+        "repro_fault_availability",
+        "fraction of cell-cycles the array's cells were in service",
+    ).set(result.availability, **labels)
+    if result.mttr_cycles is not None:
+        reg.gauge(
+            "repro_fault_mttr_cycles",
+            "mean cycles from first detection to commit/degrade per G-set",
+        ).set(result.mttr_cycles, **labels)
 
 
 def run_resilient_closure(

@@ -1,0 +1,152 @@
+"""RL402 mutation corpus: sound recovery policies lint clean, broken
+ones (unbounded backoff, unreachable quarantine threshold, free or
+negative-cost degradation, nonsense knobs) are caught before the first
+G-set of a resilient run executes."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.lint import LintTarget, run_lint
+from repro.resilience import ADAPTIVE_POLICY, RecoveryPolicy
+
+
+def lint(policy: RecoveryPolicy):
+    return run_lint(
+        LintTarget(description="recovery policy", policy=policy),
+        record_metrics=False,
+    )
+
+
+def mutate(**overrides) -> RecoveryPolicy:
+    return dataclasses.replace(RecoveryPolicy(), **overrides)
+
+
+def test_default_policy_is_clean() -> None:
+    report = lint(RecoveryPolicy())
+    assert report.ok
+    assert "RL402" not in report.codes()
+
+
+def test_adaptive_policy_is_clean() -> None:
+    """The regime campaigns' shipped policy must pass its own preflight."""
+    report = lint(ADAPTIVE_POLICY)
+    assert report.ok
+
+
+def test_policy_target_runs_only_the_policy_pass() -> None:
+    report = lint(RecoveryPolicy())
+    assert report.passes_run == ("recovery.policy-sound",)
+
+
+@pytest.mark.parametrize(
+    "knob",
+    [
+        "max_retries", "backoff_cycles", "backoff_cap_cycles",
+        "jitter_cycles", "repartition_cycles", "quarantine_strikes",
+    ],
+)
+def test_negative_knobs_are_errors(knob) -> None:
+    report = lint(mutate(**{knob: -1}))
+    assert not report.ok
+    assert any(knob in d.message for d in report.errors)
+
+
+def test_unknown_backoff_discipline() -> None:
+    report = lint(mutate(backoff="fibonacci"))
+    assert not report.ok
+    assert any("backoff discipline" in d.message for d in report.errors)
+
+
+def test_exponential_cap_below_base_is_unbounded() -> None:
+    report = lint(
+        mutate(backoff="exponential", backoff_cycles=8, backoff_cap_cycles=2)
+    )
+    assert not report.ok
+    assert any("not bounded" in d.message for d in report.errors)
+
+
+def test_linear_backoff_ignores_the_cap() -> None:
+    """The cap only constrains exponential growth."""
+    report = lint(
+        mutate(backoff="linear", backoff_cycles=8, backoff_cap_cycles=2)
+    )
+    assert report.ok
+
+
+def test_zero_permanent_threshold() -> None:
+    report = lint(mutate(permanent_threshold=0))
+    assert not report.ok
+    assert any("permanent_threshold" in d.message for d in report.errors)
+
+
+def test_quarantine_threshold_beyond_attempt_budget() -> None:
+    report = lint(mutate(max_retries=2, quarantine_strikes=4))
+    assert not report.ok
+    assert any("escalation ladder" in d.message for d in report.errors)
+
+
+def test_quarantine_threshold_at_attempt_budget_is_clean() -> None:
+    report = lint(mutate(max_retries=2, quarantine_strikes=3))
+    assert report.ok
+
+
+def test_free_degradation_tier() -> None:
+    report = lint(mutate(degrade=True, degrade_cycles_per_node=0))
+    assert not report.ok
+    assert any("degrade_cycles_per_node" in d.message for d in report.errors)
+
+
+def test_degrade_cost_unchecked_when_tier_disabled() -> None:
+    report = lint(mutate(degrade=False, degrade_cycles_per_node=0))
+    assert report.ok
+
+
+@pytest.mark.parametrize("rate", [0.0, -0.5, 1.5])
+def test_signature_sample_rate_out_of_range(rate) -> None:
+    report = lint(mutate(signature_sample_rate=rate))
+    assert not report.ok
+    assert any("signature_sample_rate" in d.message for d in report.errors)
+
+
+def test_runtime_preflight_rejects_unsound_policy() -> None:
+    """run_resilient gates on RL402 before the first G-set executes."""
+    from repro.core.partitioner import partition_transitive_closure
+    from repro.lint import LintError
+    from repro.resilience import run_resilient_closure
+
+    impl = partition_transitive_closure(n=6, m=2)
+    a = np.eye(6, dtype=np.int64)
+    with pytest.raises(LintError) as ei:
+        run_resilient_closure(
+            impl, a,
+            policy=mutate(max_retries=1, quarantine_strikes=5),
+            record_metrics=False,
+        )
+    assert "RL402" in ei.value.report.codes()
+
+
+def test_rl402_in_catalogue_and_registry() -> None:
+    from repro.lint import all_passes
+    from repro.lint.diagnostics import RULE_CATALOG
+
+    assert "RL402" in RULE_CATALOG
+    (lp,) = [p for p in all_passes() if p.name == "recovery.policy-sound"]
+    assert lp.codes == ("RL402",)
+    assert lp.requires == ("policy",)
+
+
+def test_multiple_defects_all_reported() -> None:
+    report = lint(
+        mutate(
+            max_retries=-1,
+            backoff="exponential",
+            backoff_cycles=8,
+            backoff_cap_cycles=2,
+            permanent_threshold=0,
+        )
+    )
+    assert len(report.errors) >= 3

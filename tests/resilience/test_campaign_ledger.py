@@ -74,3 +74,52 @@ def test_campaign_ledger_covers_pipeline_events(
     assert len(run_ids) == 1
     tasks = {ev["task"] for ev in events if ev["task"] is not None}
     assert tasks == set(CONFIGS)
+
+
+def _regime_ledger(tmp_path, monkeypatch, name: str, jobs):
+    d = tmp_path / name
+    monkeypatch.setenv("REPRO_RUNLOG_DIR", str(d))
+    result = run_campaign(
+        seed=0, configs=CONFIGS, regime=["correlated", "hammer"],
+        jobs=jobs, record_metrics=False,
+    )
+    assert result.ok
+    paths = sorted(d.glob("*.jsonl"))
+    assert len(paths) == 1
+    events, problems = runlog.read_ledger(paths[0])
+    assert problems == []
+    return paths[0], events
+
+
+def test_regime_campaign_ledger_parity(
+    tmp_path, monkeypatch, _quiet_registry
+) -> None:
+    """The regime matrix keeps the same ledger guarantees as the classic
+    kind matrix: one file, jobs-independent run ID, deterministic
+    content, and the new ladder events present and attributed."""
+    seq_path, seq = _regime_ledger(tmp_path, monkeypatch, "rseq", None)
+    par_path, par = _regime_ledger(tmp_path, monkeypatch, "rpar", 2)
+
+    assert seq_path.name == par_path.name
+    assert runlog.verify_ledger(seq) == []
+    assert runlog.strip_nondeterministic(par) == (
+        runlog.strip_nondeterministic(seq)
+    )
+
+    kinds = {ev["event"] for ev in seq}
+    assert {"fault_regime", "quarantine"} <= kinds
+    regimes = {
+        ev["regime"] for ev in seq if ev["event"] == "fault_regime"
+    }
+    assert regimes == {"correlated", "hammer"}
+
+
+def test_regime_campaign_has_distinct_run_id(
+    tmp_path, monkeypatch, _quiet_registry
+) -> None:
+    """Regime parameters are part of the run's identity — a regime
+    campaign must not collide with a classic one, and the classic run ID
+    must be unchanged by the regime machinery's existence."""
+    classic_path, _ = _campaign_ledger(tmp_path, monkeypatch, "classic", None)
+    regime_path, _ = _regime_ledger(tmp_path, monkeypatch, "regime", None)
+    assert classic_path.name != regime_path.name
