@@ -110,6 +110,16 @@ def record_run(
     return record
 
 
+def _infer_dim(rows: Sequence[Mapping], key: str) -> int | None:
+    """Largest numeric ``rows[*][key]`` — the problem size the run peaked at."""
+    vals = [
+        r[key]
+        for r in rows
+        if isinstance(r.get(key), (int, float)) and not isinstance(r.get(key), bool)
+    ]
+    return int(max(vals)) if vals else None
+
+
 def save_table(
     exp_id: str,
     title: str,
@@ -126,9 +136,19 @@ def save_table(
     without ``rows``.  Pass ``rows`` — the list of dicts most benchmarks
     already format — to make the JSON carry the actual data, not just
     the rendered text; pass ``n``/``m``/``perf_metrics`` to enrich the
-    history record (see :func:`record_run`).
+    history record (see :func:`record_run`).  When ``n``/``m`` are not
+    given they are inferred from the rows' own ``"n"``/``"m"`` columns
+    (largest value), so history records carry dimensions whenever the
+    table knows them.
     """
     global _LAST_SAVE_T
+    if rows:
+        # History records must always carry dimensions when they are
+        # knowable: benchmarks that format per-size rows but never pass
+        # n/m explicitly (A-ALN and friends) used to land as
+        # ``"n": null`` and break sweep plots downstream.
+        n = _infer_dim(rows, "n") if n is None else n
+        m = _infer_dim(rows, "m") if m is None else m
     OUT_DIR.mkdir(exist_ok=True)
     text = f"== {exp_id}: {title} ==\n{body}\n"
     (OUT_DIR / f"{exp_id}.txt").write_text(text)

@@ -105,11 +105,15 @@ def random_adjacency(
 
 
 def adjacency_from_edges(n: int, edges: list[tuple[int, int]]) -> np.ndarray:
-    """Adjacency matrix for an explicit edge list (diagonal forced)."""
-    a = np.zeros((n, n), dtype=np.bool_)
-    for i, j in edges:
-        if not (0 <= i < n and 0 <= j < n):
-            raise ValueError(f"edge ({i}, {j}) out of range for n={n}")
-        a[i, j] = True
-    np.fill_diagonal(a, True)
-    return a
+    """Adjacency matrix for an explicit edge list (diagonal forced).
+
+    Shares the one canonical edge semantics of
+    :func:`repro.datasets.core.from_edges` — duplicates are dropped,
+    self-loops are allowed (the diagonal is forced anyway), and
+    out-of-range or malformed vertex ids raise a structured
+    :class:`repro.datasets.DatasetError` (a ``ValueError`` subclass, so
+    existing callers keep working).
+    """
+    from ..datasets.core import from_edges
+
+    return from_edges("edges", edges, n=n).adjacency(diagonal=True)

@@ -35,6 +35,7 @@ only the Python object types of ``outputs`` values differ.
 from __future__ import annotations
 
 import hashlib
+import math
 import os
 import time
 from dataclasses import dataclass
@@ -42,6 +43,7 @@ from typing import TYPE_CHECKING, Any, Hashable, Mapping
 
 import numpy as np
 
+from ..core.bitmatrix import bit_column, pack_rows, unpack_rows
 from ..core.evaluate import OPCODE_SEMANTICS
 from ..core.graph import DependenceGraph, GraphError, NodeId, NodeKind
 from ..core.semiring import Semiring
@@ -56,6 +58,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "VECTOR_OPCODES",
+    "BitpackProgram",
     "CompiledPlan",
     "UnvectorizableGraphError",
     "compile_plan",
@@ -100,6 +103,124 @@ class VectorStep:
         return int(self.out_idx.size)
 
 
+@dataclass(frozen=True)
+class BitpackProgram:
+    """Closure-shaped boolean replay: 64 matrix columns per ``uint64`` word.
+
+    When :func:`_detect_bitpack` proves that a compiled boolean value
+    program computes exactly Warshall's per-level recurrence on an
+    ``n x n`` input grid, the replay can skip the batched slot steps
+    entirely and run the packed kernel of
+    :mod:`repro.core.bitmatrix` instead — the SSC2 bitarray trick,
+    NumPy-native.  ``input_index``/``output_index`` map the plan's
+    input/output node order onto flat ``i*n + j`` matrix positions.
+    """
+
+    n: int
+    input_index: np.ndarray
+    output_index: np.ndarray
+
+
+def _detect_bitpack(
+    n_inputs: int,
+    input_ids: tuple[NodeId, ...],
+    input_slots: list[int],
+    output_ids: tuple[NodeId, ...],
+    output_slots: tuple[int, ...],
+    op_records: list[tuple[int, int, int, int]],
+) -> BitpackProgram | None:
+    """Prove (or refuse) that the value program is boolean Warshall.
+
+    The proof is structural, not name-based: op operand slots are first
+    collapsed into *value-equivalence classes* — a ``mac`` whose ``b``
+    or ``c`` class equals its ``a`` class is absorbed over the boolean
+    semiring (``a | (a & c) == a``), so its output joins ``a``'s class
+    (this is how the regularized graph's transmit cells and forwarded
+    pivot copies unify).  A level walk then checks that every op is
+    consumed by exactly the update ``x[i,j] |= x[i,k] & x[k,j]`` of some
+    pivot ``k`` (missing pivot-row/column updates are fine — they are
+    absorbed — missing diagonal updates are not), and that every output
+    reads the final class of its position.  Any mismatch returns
+    ``None`` and the replay stays on the generic batched path.
+    """
+    n = math.isqrt(n_inputs)
+    if n < 1 or n * n != n_inputs or len(op_records) != n**3:
+        return None
+    if len(output_ids) != n_inputs:
+        return None
+
+    def grid_index(nid: NodeId, head: str) -> int | None:
+        if not (isinstance(nid, tuple) and len(nid) == 3 and nid[0] == head):
+            return None
+        i, j = nid[1], nid[2]
+        if (
+            isinstance(i, int)
+            and isinstance(j, int)
+            and 0 <= i < n
+            and 0 <= j < n
+        ):
+            return i * n + j
+        return None
+
+    grid: dict[int, int] = {}
+    input_index = np.empty(n_inputs, dtype=np.int64)
+    for pos, (nid, slot) in enumerate(zip(input_ids, input_slots)):
+        flat = grid_index(nid, "in")
+        if flat is None or flat in grid:
+            return None
+        grid[flat] = slot
+        input_index[pos] = flat
+    output_index = np.empty(n_inputs, dtype=np.int64)
+    out_flat: list[int] = []
+    for pos, nid in enumerate(output_ids):
+        flat = grid_index(nid, "out")
+        if flat is None:
+            return None
+        output_index[pos] = flat
+        out_flat.append(flat)
+    if len(set(out_flat)) != n_inputs:
+        return None
+
+    # Pass 1 (ops arrive in topological out-slot order): assign value
+    # classes and index each op by its canonical operand triple.
+    canon: dict[int, int] = {}
+    ops_by_key: dict[tuple[int, int, int], int] = {}
+    for out, a, b, c in op_records:
+        ra = canon.get(a, a)
+        rb = canon.get(b, b)
+        rc = canon.get(c, c)
+        canon[out] = ra if (rb == ra or rc == ra) else out
+        key = (ra, rb, rc)
+        if key in ops_by_key:
+            return None
+        ops_by_key[key] = out
+    # Pass 2: the level walk.
+    cur = [canon.get(grid[f], grid[f]) for f in range(n_inputs)]
+    for k in range(n):
+        nxt = list(cur)
+        for i in range(n):
+            base = i * n
+            a_row = cur[base + k]
+            for j in range(n):
+                out2 = ops_by_key.pop(
+                    (cur[base + j], a_row, cur[k * n + j]), None
+                )
+                if out2 is None:
+                    if i != k and j != k:
+                        return None
+                else:
+                    nxt[base + j] = canon.get(out2, out2)
+        cur = nxt
+    if ops_by_key:
+        return None
+    for flat, slot in zip(out_flat, output_slots):
+        if canon.get(slot, slot) != cur[flat]:
+            return None
+    return BitpackProgram(
+        n=n, input_index=input_index, output_index=output_index
+    )
+
+
 @dataclass
 class CompiledPlan:
     """A replayable program plus every static measure of the plan."""
@@ -134,6 +255,9 @@ class CompiledPlan:
     output_ids: tuple[NodeId, ...]
     output_slots: tuple[int, ...]
     compile_seconds: float = 0.0
+    #: non-None when the program is provably boolean Warshall; replay
+    #: then runs the bit-packed kernel instead of the batched steps.
+    bitpack: BitpackProgram | None = None
 
     def _raise_entry_errors(
         self, inputs: Mapping[NodeId, Any], strict: bool
@@ -173,6 +297,8 @@ class CompiledPlan:
         exactly the unprofiled one — zero overhead when off.
         """
         self._raise_entry_errors(inputs, strict)
+        if self.bitpack is not None:
+            return self._replay_bitpack(inputs, kprof)
         vals = np.empty(self.n_slots, dtype=self.dtype)
         if self.const_slots.size:
             vals[self.const_slots] = self.const_values
@@ -209,6 +335,59 @@ class CompiledPlan:
             nid: vals[slot]
             for nid, slot in zip(self.output_ids, self.output_slots)
         }
+        return self._result(outputs)
+
+    def _replay_bitpack(
+        self,
+        inputs: Mapping[NodeId, Any],
+        kprof: "KernelProfiler | None" = None,
+    ) -> SimResult:
+        """Replay via the packed Warshall kernel (64 columns per op).
+
+        Bit-identical to the batched replay: the detector proved the
+        value program *is* the per-level recurrence, and the packed
+        kernel freezes pivot row/column per level exactly like the
+        slot-program batches do.  The raw recurrence is used (no
+        diagonal forcing) — whatever diagonal the caller supplied flows
+        through, as it would through the graph.
+        """
+        bp = self.bitpack
+        assert bp is not None
+        n = bp.n
+        flat = np.empty(n * n, dtype=np.bool_)
+        flat[bp.input_index] = np.asarray(
+            [inputs[nid] for nid in self.input_ids], dtype=np.bool_
+        )
+        words = pack_rows(flat.reshape(n, n))
+        if kprof is None:
+            for k in range(n):
+                mask = bit_column(words, k)
+                row = words[k].copy()
+                words[mask] |= row
+        else:
+            for k in range(n):
+                t0 = time.perf_counter()
+                mask = bit_column(words, k)
+                row = words[k].copy()
+                words[mask] |= row
+                # One packed pivot sweep per level; still the vector
+                # backend for attribution purposes (hotspot tables and
+                # the profiler's backend contract key on "vector").
+                kprof.record(
+                    "mac",
+                    n * n,
+                    time.perf_counter() - t0,
+                    depth=k + 1,
+                    backend="vector",
+                )
+        closed = unpack_rows(words, n).reshape(-1)
+        outputs: dict[NodeId, Any] = {
+            nid: closed[idx]
+            for nid, idx in zip(self.output_ids, bp.output_index.tolist())
+        }
+        return self._result(outputs)
+
+    def _result(self, outputs: dict[NodeId, Any]) -> SimResult:
         return SimResult(
             outputs=outputs,
             makespan=self.makespan,
@@ -301,6 +480,10 @@ def compile_plan(
     violation_pos: list[int] = []
     groups: dict[tuple[int, str], _StepGroup] = {}
     uses_field_ops = False
+    #: (out, a, b, c) resolved slots of every ``mac``, in topo order —
+    #: the raw material for the bit-packed closure detection.
+    op_records: list[tuple[int, int, int, int]] = []
+    mac_abc_only = True
 
     for pos, nid in enumerate(topo):
         d = node_data[nid]
@@ -372,6 +555,12 @@ def compile_plan(
             if opcode != "mac":
                 uses_field_ops = True
             op_slots = {role: resolve(ref) for role, ref in operands.items()}
+            if opcode == "mac" and op_slots.keys() == {"a", "b", "c"}:
+                op_records.append(
+                    (n_slots, op_slots["a"], op_slots["b"], op_slots["c"])
+                )
+            else:
+                mac_abc_only = False
             depth = 1 + max(slot_depth[s] for s in op_slots.values())
             key = (depth, opcode)
             group = groups.get(key)
@@ -405,6 +594,36 @@ def compile_plan(
     )
     output_ids = tuple(dg.outputs)
     output_slots = tuple(resolve((nid, "out")) for nid in output_ids)
+    bitpack: BitpackProgram | None = None
+    if (
+        semiring.name == "boolean"
+        and dtype == np.bool_
+        and not uses_field_ops
+        and mac_abc_only
+        and op_records
+    ):
+        bitpack = _detect_bitpack(
+            len(input_ids),
+            tuple(input_ids),
+            input_slot_list,
+            output_ids,
+            output_slots,
+            op_records,
+        )
+        if bitpack is not None:
+            get_registry().counter(
+                "repro_vector_bitpack_plans_total",
+                "Compiled plans proven closure-shaped (bit-packed replay)",
+            ).inc()
+        else:
+            # Boolean all-mac graph that is *not* provably Warshall:
+            # the fast path falls back to the batched replay and leaves
+            # the audited breadcrumb (RL505 checks the reason set).
+            get_registry().counter(
+                "repro_vector_fallback_total",
+                "Vector-backend fast-path fallbacks by reason",
+            ).inc(reason="bitpack")
+            runlog.emit("fallback", backend="vector", reason="bitpack")
     return CompiledPlan(
         fingerprint="",
         graph_name=dg.name,
@@ -433,6 +652,7 @@ def compile_plan(
         output_ids=output_ids,
         output_slots=output_slots,
         compile_seconds=time.perf_counter() - t0,
+        bitpack=bitpack,
     )
 
 

@@ -58,19 +58,23 @@ __all__ = [
 
 SimulateFn = Callable[..., SimResult]
 
-#: The documented reasons the vector backend may hand a run to the
-#: reference interpreter.  The RL505 fallback-audit lint pass fails on
-#: any ``repro_vector_fallback_total`` reason outside this set — a new
-#: fallback path must be added here (i.e. audited) before it ships.
+#: The documented reasons the vector backend's fast paths may fall
+#: back.  ``probe``/``inject``/``unvectorizable`` hand the run to the
+#: reference interpreter; ``bitpack`` (emitted at compile time) means a
+#: boolean graph was not provably closure-shaped and replays on the
+#: generic batched path instead of the bit-packed kernel.  The RL505
+#: fallback-audit lint pass fails on any ``repro_vector_fallback_total``
+#: reason outside this set — a new fallback path must be added here
+#: (i.e. audited) before it ships.
 ALLOWED_FALLBACK_REASONS: frozenset[str] = frozenset(
-    {"probe", "inject", "unvectorizable"}
+    {"probe", "inject", "unvectorizable", "bitpack"}
 )
 
 
 def _count_fallback(reason: str) -> None:
     get_registry().counter(
         "repro_vector_fallback_total",
-        "Runs the vector backend handed to the reference interpreter",
+        "Vector-backend fast-path fallbacks by reason",
     ).inc(reason=reason)
     runlog.emit("fallback", backend="vector", reason=reason)
 

@@ -1,13 +1,28 @@
-"""Comparator systems the paper argues against.
+"""Comparator systems the paper argues against, plus speed baselines.
 
 * :mod:`repro.baselines.kung_fixed` — S.-Y. Kung's fixed-size transitive-
   closure array (ref. [23]), with its load-then-reuse control;
 * :mod:`repro.baselines.nunez_torralba` — block-decomposition partitioning
   of transitive closure into matrix-multiplication sub-algorithms
-  (ref. [22]).
+  (ref. [22]);
+* :mod:`repro.baselines.ssc` — the SSC1/SSC2/SSC12 single-source-closure
+  algorithms (Yang & Zaniolo 2014), the oracle + speed baselines the
+  sparse-dataset engines of :mod:`repro.datasets.closure` compare
+  against.
 
-Both are behavioural models built from the descriptions quoted in the
-paper (the original systems were never released); both compute correct
-transitive closures and expose the control/overhead terms the paper's
-comparison turns on.
+The first two are behavioural models built from the descriptions quoted
+in the paper (the original systems were never released); all compute
+correct transitive closures and expose the control/overhead terms the
+comparisons turn on.
 """
+
+from .ssc import SSC_ALPHA, SSC_BETA, SSC_BASELINES, ssc1, ssc2, ssc12
+
+__all__ = [
+    "SSC_ALPHA",
+    "SSC_BETA",
+    "SSC_BASELINES",
+    "ssc1",
+    "ssc2",
+    "ssc12",
+]

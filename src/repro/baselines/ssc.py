@@ -1,0 +1,186 @@
+"""SSC1 / SSC2 / SSC12 single-source-closure baselines.
+
+Behavioural ports of the three transitive-closure algorithms from Yang &
+Zaniolo, *Main Memory Evaluation of Recursive Queries on Multicore
+Machines* (IEEE Big Data 2014), after the reference implementations by
+Thom Hurks (``single-source-closure``: SSC1.py / SSC2.py / SSC12.py),
+which benchmark them on SNAP Kronecker graphs — exactly the datasets
+:mod:`repro.datasets` loads and generates.  They serve two roles here:
+
+* **oracle** — an independent implementation family (per-source search,
+  no Warshall structure at all) to check the bit-packed closure engines
+  against;
+* **speed baseline** — what a tuned software closure costs on the same
+  graphs the partitioned-array simulation runs, for the benchmark
+  tables.
+
+The three variants differ only in the reach-set representation:
+
+``ssc1``
+    Hash-set BFS per source (the paper's dictionary variant).
+``ssc2``
+    Bit-packed BFS per source: the frontier's adjacency rows are OR-ed
+    word-parallel (the "boolean array" trick, ``bitarray`` in the
+    original, ``uint64`` NumPy words here — see
+    :mod:`repro.core.bitmatrix`).
+``ssc12``
+    The hybrid: each source starts in set mode and promotes itself to
+    bit-packed mode once its reach set passes ``alpha * n`` vertices or
+    a frontier passes ``beta * n`` (the original exposes the same two
+    cutoff knobs; ``alpha=1/8``, ``beta=1/128`` are its suggested
+    defaults).
+
+All three return the same canonical artefact: one bit-packed reach row
+per requested source (:mod:`repro.core.bitmatrix` layout), *reflexive*
+(a vertex reaches itself), so rows compare bit-for-bit against the
+dataset closure engines and the simulated arrays.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from ..core.bitmatrix import WORD_BITS, words_per_row
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..datasets.core import GraphDataset
+
+__all__ = ["SSC_ALPHA", "SSC_BETA", "ssc1", "ssc2", "ssc12", "SSC_BASELINES"]
+
+#: Default set->bitset promotion cutoffs of the SSC12 hybrid.
+SSC_ALPHA = 1 / 8
+SSC_BETA = 1 / 128
+
+
+def _resolve_sources(n: int, sources: Sequence[int] | None) -> np.ndarray:
+    if sources is None:
+        return np.arange(n, dtype=np.int64)
+    idx = np.asarray(sources, dtype=np.int64)
+    if idx.size and (idx.min() < 0 or idx.max() >= n):
+        raise ValueError(f"source ids out of range [0, {n})")
+    return idx
+
+
+def _adjacency_sets(ds: "GraphDataset") -> list[set[int]]:
+    adj: list[set[int]] = [set() for _ in range(ds.n)]
+    for src, dst in ds.edges.tolist():
+        adj[src].add(dst)
+    return adj
+
+
+def _set_to_row(visited: set[int], nw: int) -> np.ndarray:
+    row = np.zeros(nw, dtype=np.uint64)
+    if visited:
+        idx = np.fromiter(visited, dtype=np.int64, count=len(visited))
+        np.bitwise_or.at(
+            row,
+            idx >> 6,
+            np.uint64(1) << (idx & 63).astype(np.uint64),
+        )
+    return row
+
+
+def _bits_to_indices(row: np.ndarray) -> np.ndarray:
+    return np.flatnonzero(
+        np.unpackbits(row.view(np.uint8), bitorder="little")
+    ).astype(np.int64)
+
+
+def ssc1(
+    ds: "GraphDataset", sources: Sequence[int] | None = None
+) -> np.ndarray:
+    """Set-based per-source closure (SSC1): hash-set BFS per source."""
+    src_ids = _resolve_sources(ds.n, sources)
+    adj = _adjacency_sets(ds)
+    nw = words_per_row(ds.n)
+    rows = np.zeros((src_ids.size, nw), dtype=np.uint64)
+    for out, s in enumerate(src_ids.tolist()):
+        visited = {s}
+        frontier = [s]
+        while frontier:
+            nxt: list[int] = []
+            for u in frontier:
+                for v in adj[u]:
+                    if v not in visited:
+                        visited.add(v)
+                        nxt.append(v)
+            frontier = nxt
+        rows[out] = _set_to_row(visited, nw)
+    return rows
+
+
+def ssc2(
+    ds: "GraphDataset", sources: Sequence[int] | None = None
+) -> np.ndarray:
+    """Bit-packed per-source closure (SSC2): word-parallel frontier BFS."""
+    src_ids = _resolve_sources(ds.n, sources)
+    nw = words_per_row(ds.n)
+    adjw = ds.packed_adjacency()
+    rows = np.zeros((src_ids.size, nw), dtype=np.uint64)
+    for out, s in enumerate(src_ids.tolist()):
+        reach = np.zeros(nw, dtype=np.uint64)
+        reach[s >> 6] |= np.uint64(1) << np.uint64(s & (WORD_BITS - 1))
+        frontier = np.asarray([s], dtype=np.int64)
+        while frontier.size:
+            grown = np.bitwise_or.reduce(adjw[frontier], axis=0)
+            fresh = grown & ~reach
+            if not fresh.any():
+                break
+            reach |= fresh
+            frontier = _bits_to_indices(fresh)
+        rows[out] = reach
+    return rows
+
+
+def ssc12(
+    ds: "GraphDataset",
+    sources: Sequence[int] | None = None,
+    *,
+    alpha: float = SSC_ALPHA,
+    beta: float = SSC_BETA,
+) -> np.ndarray:
+    """Hybrid closure (SSC12): set mode, promoted to bit-packed mode.
+
+    A source's search runs SSC1-style until its reach set exceeds
+    ``alpha * n`` vertices or one frontier exceeds ``beta * n``; it then
+    packs the state and finishes SSC2-style.  Sparse reach sets never
+    pay the packed-row cost; dense ones never pay per-edge set inserts.
+    """
+    src_ids = _resolve_sources(ds.n, sources)
+    adj = _adjacency_sets(ds)
+    adjw = ds.packed_adjacency()
+    nw = words_per_row(ds.n)
+    visit_cutoff = alpha * ds.n
+    frontier_cutoff = beta * ds.n
+    rows = np.zeros((src_ids.size, nw), dtype=np.uint64)
+    for out, s in enumerate(src_ids.tolist()):
+        visited = {s}
+        frontier = [s]
+        while frontier and (
+            len(visited) <= visit_cutoff and len(frontier) <= frontier_cutoff
+        ):
+            nxt: list[int] = []
+            for u in frontier:
+                for v in adj[u]:
+                    if v not in visited:
+                        visited.add(v)
+                        nxt.append(v)
+            frontier = nxt
+        reach = _set_to_row(visited, nw)
+        if frontier:  # promoted: finish word-parallel
+            front = np.asarray(frontier, dtype=np.int64)
+            while front.size:
+                grown = np.bitwise_or.reduce(adjw[front], axis=0)
+                fresh = grown & ~reach
+                if not fresh.any():
+                    break
+                reach |= fresh
+                front = _bits_to_indices(fresh)
+        rows[out] = reach
+    return rows
+
+
+#: Baseline name -> callable, for CLI/benchmark dispatch.
+SSC_BASELINES = {"ssc1": ssc1, "ssc2": ssc2, "ssc12": ssc12}

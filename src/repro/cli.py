@@ -212,6 +212,57 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--backend", choices=("reference", "vector"), default=None,
                    help="simulator backend for the runs (rows are "
                         "bit-identical across backends)")
+    s.add_argument("--dataset", metavar="SPEC", default=None,
+                   help="benchmark the closure engines (and, on small "
+                        "graphs, the partitioned-array simulator) on a "
+                        "loaded dataset instead of experiment tables; "
+                        "SPEC is an edge-list path or "
+                        "kron:scale=S[,edges=E][,seed=K]")
+    s.add_argument("--remap", action="store_true",
+                   help="with --dataset FILE: compact arbitrary external "
+                        "vertex ids to 0..n-1")
+    s.add_argument("--sources", type=int, default=64, metavar="K",
+                   help="with --dataset: sampled source count for the "
+                        "per-source engines on graphs above the dense "
+                        "cutoff (default: 64, deterministic)")
+    s.add_argument("--record", nargs="?", metavar="FILE", default=None,
+                   const="benchmarks/out/history.jsonl",
+                   help="with --dataset: append a DS-<name> perf record "
+                        "to the history (default FILE: benchmarks/out/"
+                        "history.jsonl) and refresh BENCH_PERF.json")
+
+    s = sub.add_parser(
+        "closure",
+        help="transitive closure of a loaded sparse dataset via the "
+             "host-level engines (bit-packed / reference / SSC "
+             "baselines; see docs/datasets.md)",
+    )
+    s.add_argument("--dataset", required=True, metavar="SPEC",
+                   help="edge-list path (optionally .gz) or "
+                        "kron:scale=S[,edges=E][,seed=K]")
+    s.add_argument("--engine", default="bitpack",
+                   choices=("bitpack", "reference", "ssc1", "ssc2", "ssc12"),
+                   help="closure engine (default: bitpack)")
+    s.add_argument("--check", metavar="ENGINE", default=None,
+                   choices=("bitpack", "reference", "ssc1", "ssc2", "ssc12"),
+                   help="also run ENGINE and assert bit-identical "
+                        "agreement (sampled sources above the dense "
+                        "cutoff; exit 1 on disagreement)")
+    s.add_argument("--check-sources", type=int, default=64, metavar="K",
+                   help="sources sampled for --check on graphs above the "
+                        "dense cutoff (default: 64, deterministic)")
+    s.add_argument("--n", type=int, default=None,
+                   help="vertex count override for edge-list files")
+    s.add_argument("--remap", action="store_true",
+                   help="compact arbitrary external vertex ids to 0..n-1")
+    s.add_argument("--format", choices=("text", "json"), default="text")
+    s.add_argument("--out", metavar="FILE", default=None,
+                   help="write the summary to FILE instead of stdout")
+    s.add_argument("--record", nargs="?", metavar="FILE", default=None,
+                   const="benchmarks/out/history.jsonl",
+                   help="append a DS-<name> perf record to the history "
+                        "(default FILE: benchmarks/out/history.jsonl) "
+                        "and refresh BENCH_PERF.json")
 
     s = sub.add_parser(
         "stats",
@@ -790,11 +841,237 @@ def _cmd_reproduce(args) -> int:
     return 0
 
 
+def _sample_sources(n: int, k: int) -> "np.ndarray":
+    """Deterministic sorted sample of ``k`` distinct sources in ``[0, n)``."""
+    if k >= n:
+        return np.arange(n, dtype=np.int64)
+    rng = np.random.default_rng(0)
+    return np.sort(rng.choice(n, size=k, replace=False)).astype(np.int64)
+
+
+def _record_dataset_run(path, exp_id: str, metrics, n: int, m: int) -> dict:
+    """Append a dataset perf record and refresh the trajectory roll-up.
+
+    Mirrors the benchmark harness (``benchmarks/_common.py``): the
+    record lands in the JSONL history at ``path`` and the repo-root
+    ``BENCH_PERF.json`` is rebuilt from the full history, so dataset
+    runs show up in ``perfcheck`` and the dashboard trajectory panel
+    alongside the experiment tables.
+    """
+    from pathlib import Path
+
+    from .obs import perf, runlog
+
+    p = Path(path)
+    rec = perf.make_record(
+        exp_id, metrics, n=n, m=m,
+        commit=perf.current_commit(p.parent),
+        run_id=runlog.current_run_id(),
+    )
+    perf.append_history(p, rec)
+    # The canonical benchmarks/out/history.jsonl rolls up to the
+    # repo-root BENCH_PERF.json (same layout as benchmarks/_common.py);
+    # a custom history path keeps its roll-up alongside itself.
+    if p.as_posix().endswith("benchmarks/out/history.jsonl"):
+        trajectory = p.parent.parent.parent / "BENCH_PERF.json"
+    else:
+        trajectory = p.parent / "BENCH_PERF.json"
+    perf.write_trajectory(trajectory, perf.load_history(p))
+    return rec
+
+
+def _cmd_closure(args) -> int:
+    import json
+    from time import perf_counter
+
+    from .datasets import DatasetError, compute_closure, resolve_dataset
+    from .datasets.closure import DENSE_CUTOFF
+    from .obs import runlog
+
+    try:
+        ds = resolve_dataset(args.dataset, n=args.n, remap=args.remap)
+    except DatasetError as exc:
+        print(f"closure: {exc}", file=sys.stderr)
+        return 2
+    runlog.emit("dataset", **ds.describe())
+
+    t0 = perf_counter()
+    res = compute_closure(ds, args.engine)
+    wall = perf_counter() - t0
+    summary = {
+        "dataset": ds.describe(),
+        "engine": res.engine,
+        "kernel": res.kernel,
+        "wall_s": round(wall, 6),
+        "closure_edges": res.closure_edges,
+        "mean_reach": round(res.closure_edges / ds.n, 3) if ds.n else 0.0,
+    }
+    runlog.emit(
+        "closure", engine=res.engine, kernel=res.kernel,
+        wall_s=summary["wall_s"], closure_edges=res.closure_edges,
+    )
+
+    agree = None
+    if args.check:
+        # Above the dense cutoff a full second closure can dwarf the
+        # run itself, so the check compares a deterministic sample of
+        # source rows instead of all n.
+        srcs = (
+            None if ds.n <= DENSE_CUTOFF
+            else _sample_sources(ds.n, args.check_sources)
+        )
+        t0 = perf_counter()
+        other = compute_closure(ds, args.check, sources=srcs)
+        check_wall = perf_counter() - t0
+        mine = res.words if srcs is None else res.words[srcs]
+        agree = bool(np.array_equal(mine, other.words))
+        summary["check"] = {
+            "engine": other.engine,
+            "kernel": other.kernel,
+            "sources": int(len(other.sources)),
+            "wall_s": round(check_wall, 6),
+            "agree": agree,
+        }
+        runlog.emit(
+            "closure_check", engine=other.engine, agree=agree,
+            sources=int(len(other.sources)),
+        )
+
+    if args.record:
+        metrics = {
+            "wall_time_s": summary["wall_s"],
+            "closure_edges": float(res.closure_edges),
+        }
+        rec = _record_dataset_run(
+            args.record, f"DS-{ds.name}", metrics, ds.n, ds.m
+        )
+        print(f"closure: appended {rec['exp_id']} record to {args.record}")
+
+    if args.format == "json":
+        body = json.dumps(summary, indent=2, sort_keys=True)
+    else:
+        d = summary["dataset"]
+        lines = [
+            f"dataset: {d['name']} (n={d['n']}, m={d['m']}, "
+            f"self_loops={d['self_loops']})",
+            f"engine: {res.engine} (kernel {res.kernel}) "
+            f"wall={summary['wall_s']}s",
+            f"closure: {res.closure_edges} reachable pairs "
+            f"(mean reach {summary['mean_reach']})",
+        ]
+        if agree is not None:
+            c = summary["check"]
+            lines.append(
+                f"check: {c['engine']} on {c['sources']} source(s) "
+                f"wall={c['wall_s']}s agree={c['agree']}"
+            )
+        body = "\n".join(lines)
+    if args.out:
+        _write_text(args.out, body + "\n")
+        print(f"closure: wrote summary to {args.out}")
+    else:
+        print(body)
+    return 0 if agree in (None, True) else 1
+
+
+def _bench_dataset(args) -> int:
+    """``repro bench --dataset``: closure engines head-to-head.
+
+    Every engine runs on the same loaded graph; the bit-packed engine
+    is the reference each other engine's rows are compared against
+    (bit-for-bit).  Small graphs additionally run the partitioned-array
+    simulator on both backends, closing the loop between the paper's
+    systolic schedules and the host-level engines.
+    """
+    from time import perf_counter
+
+    from .datasets import DatasetError, compute_closure, resolve_dataset
+    from .datasets.closure import DENSE_CUTOFF
+    from .obs import runlog
+    from .viz import format_table
+
+    try:
+        ds = resolve_dataset(args.dataset, remap=args.remap)
+    except DatasetError as exc:
+        print(f"bench: {exc}", file=sys.stderr)
+        return 2
+    runlog.emit("dataset", **ds.describe())
+
+    t0 = perf_counter()
+    oracle = compute_closure(ds, "bitpack")
+    oracle_wall = perf_counter() - t0
+    rows = [{
+        "engine": "bitpack", "kernel": oracle.kernel,
+        "sources": ds.n, "wall_s": round(oracle_wall, 6),
+        "closure_edges": oracle.closure_edges, "agree": True,
+    }]
+
+    big = ds.n > DENSE_CUTOFF
+    srcs = _sample_sources(ds.n, args.sources) if big else None
+    engines = (["ssc1", "ssc2", "ssc12"] if big
+               else ["reference", "ssc1", "ssc2", "ssc12"])
+    for engine in engines:
+        t0 = perf_counter()
+        res = compute_closure(ds, engine, sources=srcs)
+        wall = perf_counter() - t0
+        mine = oracle.words if srcs is None else oracle.words[srcs]
+        rows.append({
+            "engine": engine, "kernel": res.kernel,
+            "sources": int(len(res.sources)), "wall_s": round(wall, 6),
+            "closure_edges": res.closure_edges,
+            "agree": bool(np.array_equal(mine, res.words)),
+        })
+
+    if 3 <= ds.n <= 32:
+        # Small enough for an FPDG: run the partitioned-array simulator
+        # on the same adjacency via both backends.
+        from .algorithms.transitive_closure import make_inputs
+        from .arrays.vector_sim import dispatch_simulate
+        from .core.bitmatrix import unpack_rows
+        from .core.partitioner import partition_transitive_closure
+
+        closed = unpack_rows(oracle.words, ds.n)
+        impl = partition_transitive_closure(n=ds.n, m=args.m
+                                            if hasattr(args, "m") else 4)
+        inputs = make_inputs(ds.adjacency())
+        for backend in ("reference", "vector"):
+            t0 = perf_counter()
+            res = dispatch_simulate(
+                impl.exec_plan, impl.dg, inputs, backend=backend
+            )
+            wall = perf_counter() - t0
+            rows.append({
+                "engine": f"array-{backend}", "kernel": "systolic",
+                "sources": ds.n, "wall_s": round(wall, 6),
+                "closure_edges": int(res.output_matrix(ds.n).sum()),
+                "agree": bool(
+                    np.array_equal(res.output_matrix(ds.n), closed)
+                ),
+            })
+
+    for row in rows:
+        runlog.emit("closure", dataset=ds.name, **row)
+    print(f"== DS-{ds.name}: closure engines on n={ds.n}, m={ds.m} ==")
+    print(format_table(rows))
+    if args.record:
+        metrics = {"wall_time_s": rows[0]["wall_s"],
+                   "closure_edges": float(oracle.closure_edges)}
+        for row in rows[1:]:
+            metrics[f"{row['engine']}_wall_s"] = row["wall_s"]
+        rec = _record_dataset_run(
+            args.record, f"DS-{ds.name}", metrics, ds.n, ds.m
+        )
+        print(f"bench: appended {rec['exp_id']} record to {args.record}")
+    return 0 if all(r["agree"] for r in rows) else 1
+
+
 def _cmd_bench(args) -> int:
     from .experiments import EXPERIMENTS
     from .experiments.runner import run_experiments
     from .viz import format_table
 
+    if args.dataset:
+        return _bench_dataset(args)
     exp_ids = list(args.exp) if args.exp else list(EXPERIMENTS)
     try:
         results = run_experiments(
@@ -1247,6 +1524,7 @@ _COMMANDS = {
     "faults": _cmd_faults,
     "reproduce": _cmd_reproduce,
     "bench": _cmd_bench,
+    "closure": _cmd_closure,
     "trace": _cmd_trace,
     "stats": _cmd_stats,
     "perfcheck": _cmd_perfcheck,
@@ -1260,7 +1538,7 @@ _COMMANDS = {
 #: sequential run's ledger.
 _LEDGER_VERBS = frozenset(
     {"partition", "trace", "faults", "bench", "perfcheck", "profile",
-     "lint"}
+     "lint", "closure"}
 )
 
 

@@ -283,6 +283,15 @@ class DependenceGraph:
         src_node, src_port = _split_source(src)
         if src_node not in self.g:
             raise GraphError(f"edge from unknown node {src_node!r}")
+        if src_node == dst:
+            # A node consuming its own output has no legal firing time;
+            # graph-level self-loops are always a construction bug.
+            # (Relation-level self-loops in *datasets* are fine — they
+            # become diagonal matrix entries, never FPDG edges; see
+            # repro.datasets.core.)
+            raise GraphError(
+                f"self-loop: node {dst!r} cannot consume its own output"
+            )
         if src_port != "out" and src_port not in self.output_ports(src_node):
             raise GraphError(
                 f"node {src_node!r} has no output port {src_port!r} "

@@ -1,0 +1,87 @@
+"""Sparse graph workloads: loaders, generators and closure engines.
+
+The paper's experiments stop at dense n<=24 matrices; this package is
+the on-ramp for the real sparse workloads of ROADMAP item 2.  It
+provides
+
+* :mod:`~repro.datasets.core` — the canonical :class:`GraphDataset`
+  container and the one edge semantics every entry point enforces
+  (dedup, self-loops kept, structured errors on bad ids);
+* :mod:`~repro.datasets.edgelist` — SNAP-style edge-list files
+  (optionally gzipped);
+* :mod:`~repro.datasets.kronecker` — deterministic seeded stochastic
+  Kronecker (R-MAT) generation, the family the SSC reference
+  implementations benchmark on;
+* :mod:`~repro.datasets.closure` — host-level closure engines (dense
+  unpacked reference, the bit-packed path, and the SSC baselines) over
+  loaded datasets.
+
+:func:`resolve_dataset` maps the CLI's ``--dataset`` spec strings to
+datasets: a path loads an edge-list file; ``kron:scale=S,edges=E,seed=K``
+generates a Kronecker graph.
+"""
+
+from __future__ import annotations
+
+from .closure import (
+    CLOSURE_ENGINES,
+    DENSE_CUTOFF,
+    ClosureResult,
+    compute_closure,
+)
+from .core import DatasetError, GraphDataset, from_edges
+from .edgelist import load_edgelist, save_edgelist
+from .kronecker import DEFAULT_INITIATOR, kronecker
+
+__all__ = [
+    "CLOSURE_ENGINES",
+    "DENSE_CUTOFF",
+    "DEFAULT_INITIATOR",
+    "ClosureResult",
+    "DatasetError",
+    "GraphDataset",
+    "compute_closure",
+    "from_edges",
+    "kronecker",
+    "load_edgelist",
+    "resolve_dataset",
+    "save_edgelist",
+]
+
+_KRON_KEYS = {"scale", "edges", "seed"}
+
+
+def resolve_dataset(
+    spec: str, *, n: int | None = None, remap: bool = False
+) -> GraphDataset:
+    """Resolve a ``--dataset`` spec string to a loaded dataset.
+
+    ``kron:scale=S[,edges=E][,seed=K]`` generates; anything else is a
+    path to a (possibly gzipped) SNAP-style edge list.
+    """
+    if spec.startswith("kron:"):
+        params: dict[str, int] = {}
+        body = spec[len("kron:"):]
+        for part in filter(None, body.split(",")):
+            key, sep, value = part.partition("=")
+            if not sep or key not in _KRON_KEYS:
+                raise DatasetError(
+                    "spec",
+                    f"bad kron parameter {part!r} "
+                    f"(expected {sorted(_KRON_KEYS)})",
+                    source=spec,
+                )
+            try:
+                params[key] = int(value)
+            except ValueError:
+                raise DatasetError(
+                    "spec", f"non-integer value in {part!r}", source=spec
+                ) from None
+        if "scale" not in params:
+            raise DatasetError("spec", "kron spec needs scale=<int>", source=spec)
+        return kronecker(
+            params["scale"],
+            params.get("edges", 8),
+            seed=params.get("seed", 0),
+        )
+    return load_edgelist(spec, n=n, remap=remap)

@@ -1,0 +1,219 @@
+"""Host-level closure engines over loaded datasets.
+
+This is the scalable end of the closure story: the partitioned-array
+simulator executes the paper's systolic schedules exactly (and tops out
+around the graph sizes an FPDG can physically be built for), while these
+engines compute the same closure relation on 10k+-vertex datasets:
+
+``reference``
+    Dense unpacked Warshall (:func:`repro.core.semiring.closure_reference`
+    over ``BOOLEAN``) — the oracle, and the "unpacked vector path" the
+    F20-BIT benchmark measures against.
+``bitpack``
+    The bit-packed boolean path.  Dense graphs (``n <= dense_cutoff``)
+    run the packed Warshall sweep of
+    :func:`repro.core.bitmatrix.closure_words`; larger graphs condense
+    strongly-connected components first and union packed reach rows in
+    reverse topological order, so the cost scales with the condensation
+    DAG instead of ``n^3/64``.
+``ssc1`` / ``ssc2`` / ``ssc12``
+    The per-source baselines of :mod:`repro.baselines.ssc`.
+
+All engines return the same canonical artefact — reflexive bit-packed
+reach rows — so any two results for the same sources compare with
+``np.array_equal``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..baselines.ssc import SSC_ALPHA, SSC_BETA, ssc1, ssc2, ssc12
+from ..core.bitmatrix import (
+    closure_words,
+    pack_rows,
+    popcount_rows,
+    words_per_row,
+)
+from ..core.semiring import BOOLEAN, closure_reference
+from .core import DatasetError, GraphDataset
+
+__all__ = [
+    "CLOSURE_ENGINES",
+    "DENSE_CUTOFF",
+    "ClosureResult",
+    "compute_closure",
+]
+
+#: Engine names accepted by :func:`compute_closure` (CLI ``--engine``).
+CLOSURE_ENGINES: tuple[str, ...] = (
+    "bitpack",
+    "reference",
+    "ssc1",
+    "ssc2",
+    "ssc12",
+)
+
+#: Above this vertex count the ``bitpack`` engine switches from the
+#: dense packed Warshall sweep to the SCC-condensation kernel.
+DENSE_CUTOFF = 2048
+
+
+@dataclass(frozen=True)
+class ClosureResult:
+    """Closure rows for a set of sources, in canonical packed form."""
+
+    engine: str
+    kernel: str
+    n: int
+    #: vertex ids the rows belong to (``arange(n)`` for full closures)
+    sources: np.ndarray
+    #: ``(len(sources), words_per_row(n))`` reflexive reach rows
+    words: np.ndarray
+
+    @property
+    def reach_counts(self) -> np.ndarray:
+        """Reach-set size per source (popcount of each row)."""
+        return popcount_rows(self.words)
+
+    @property
+    def closure_edges(self) -> int:
+        """Total pairs in the computed rows (incl. the reflexive ones)."""
+        return int(self.reach_counts.sum())
+
+    def agrees_with(self, other: "ClosureResult") -> bool:
+        """Bit-for-bit agreement on the same source set."""
+        return (
+            self.n == other.n
+            and np.array_equal(self.sources, other.sources)
+            and np.array_equal(self.words, other.words)
+        )
+
+
+def _toposort_dag(n_nodes: int, heads: np.ndarray, tails: np.ndarray) -> np.ndarray:
+    """Kahn's algorithm over a DAG given as parallel edge arrays."""
+    indeg = np.bincount(tails, minlength=n_nodes)
+    order = np.argsort(heads, kind="stable")
+    heads_s, tails_s = heads[order], tails[order]
+    indptr = np.searchsorted(heads_s, np.arange(n_nodes + 1))
+    ready = [int(v) for v in np.flatnonzero(indeg == 0)]
+    topo = np.empty(n_nodes, dtype=np.int64)
+    filled = 0
+    while ready:
+        u = ready.pop()
+        topo[filled] = u
+        filled += 1
+        for v in tails_s[indptr[u] : indptr[u + 1]].tolist():
+            indeg[v] -= 1
+            if indeg[v] == 0:
+                ready.append(v)
+    if filled != n_nodes:  # pragma: no cover - condensations are acyclic
+        raise DatasetError("shape", "condensation graph has a cycle")
+    return topo
+
+
+def _closure_scc_packed(ds: GraphDataset) -> np.ndarray:
+    """Full reflexive closure via SCC condensation + packed row unions."""
+    from scipy.sparse import csr_matrix
+    from scipy.sparse.csgraph import connected_components
+
+    n = ds.n
+    nw = words_per_row(n)
+    if not ds.m:
+        words = np.zeros((n, nw), dtype=np.uint64)
+        if n:
+            idx = np.arange(n)
+            words[idx, idx >> 6] |= np.uint64(1) << (idx & 63).astype(np.uint64)
+        return words
+    src, dst = ds.edges[:, 0], ds.edges[:, 1]
+    graph = csr_matrix(
+        (np.ones(ds.m, dtype=np.int8), (src, dst)), shape=(n, n)
+    )
+    ncomp, labels = connected_components(
+        graph, directed=True, connection="strong"
+    )
+    # Membership bitmask of every component, in vertex space.
+    members = np.zeros((ncomp, nw), dtype=np.uint64)
+    verts = np.arange(n)
+    np.bitwise_or.at(
+        members,
+        (labels, verts >> 6),
+        np.uint64(1) << (verts & 63).astype(np.uint64),
+    )
+    # Condensation DAG (distinct cross-component edges).
+    cu, cv = labels[src], labels[dst]
+    cross = cu != cv
+    if cross.any():
+        cedges = np.unique(
+            np.stack([cu[cross], cv[cross]], axis=1), axis=0
+        )
+        topo = _toposort_dag(ncomp, cedges[:, 0], cedges[:, 1])
+        order = np.argsort(cedges[:, 0], kind="stable")
+        heads, tails = cedges[order, 0], cedges[order, 1]
+        indptr = np.searchsorted(heads, np.arange(ncomp + 1))
+    else:
+        topo = np.arange(ncomp, dtype=np.int64)
+        tails = np.empty(0, dtype=np.int64)
+        indptr = np.zeros(ncomp + 1, dtype=np.int64)
+    reach = members.copy()
+    for c in topo[::-1].tolist():
+        succ = tails[indptr[c] : indptr[c + 1]]
+        if succ.size:
+            reach[c] |= np.bitwise_or.reduce(reach[succ], axis=0)
+    return reach[labels]
+
+
+def compute_closure(
+    ds: GraphDataset,
+    engine: str = "bitpack",
+    *,
+    sources: Sequence[int] | None = None,
+    dense_cutoff: int = DENSE_CUTOFF,
+    alpha: float = SSC_ALPHA,
+    beta: float = SSC_BETA,
+) -> ClosureResult:
+    """Compute (reflexive) closure rows of ``ds`` with the named engine.
+
+    ``sources`` restricts the computation to those vertices where the
+    engine supports it (the SSC family); full-matrix engines compute
+    everything and slice.
+    """
+    if engine not in CLOSURE_ENGINES:
+        raise DatasetError(
+            "spec",
+            f"unknown closure engine {engine!r}; "
+            f"choose from {CLOSURE_ENGINES}",
+        )
+    src_ids = (
+        np.arange(ds.n, dtype=np.int64)
+        if sources is None
+        else np.asarray(sources, dtype=np.int64)
+    )
+    if src_ids.size and (src_ids.min() < 0 or src_ids.max() >= ds.n):
+        raise DatasetError(
+            "vertex-out-of-range", f"closure sources outside [0, {ds.n})"
+        )
+    kernel = engine
+    if engine == "reference":
+        full = pack_rows(closure_reference(ds.adjacency(), BOOLEAN))
+        words = full if sources is None else full[src_ids]
+    elif engine == "bitpack":
+        if ds.n <= dense_cutoff:
+            kernel = "bitpack-dense"
+            full = closure_words(ds.packed_adjacency(diagonal=True), ds.n)
+        else:
+            kernel = "bitpack-scc"
+            full = _closure_scc_packed(ds)
+        words = full if sources is None else full[src_ids]
+    else:
+        fn = {"ssc1": ssc1, "ssc2": ssc2, "ssc12": ssc12}[engine]
+        if engine == "ssc12":
+            words = ssc12(ds, src_ids, alpha=alpha, beta=beta)
+        else:
+            words = fn(ds, src_ids)
+    return ClosureResult(
+        engine=engine, kernel=kernel, n=ds.n, sources=src_ids, words=words
+    )

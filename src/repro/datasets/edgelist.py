@@ -1,0 +1,104 @@
+"""SNAP-style edge-list loader (plain text, optionally gzipped).
+
+The format is the one SNAP exports and the SSC reference implementations
+consume: one ``FromNodeId<whitespace>ToNodeId`` pair per line, with
+``#``-prefixed comment/header lines.  Tabs and spaces both separate
+(SNAP uses tabs; hand-written fixtures often use spaces).  A trailing
+``.gz`` suffix selects transparent gzip decompression.
+
+Vertex-id semantics follow :func:`repro.datasets.core.from_edges`:
+duplicates dropped, self-loops kept, malformed or out-of-range ids raise
+a structured :class:`~repro.datasets.core.DatasetError` carrying the
+line number.  External id spaces (non-contiguous SNAP exports) load with
+``remap=True``.
+"""
+
+from __future__ import annotations
+
+import gzip
+from pathlib import Path
+from typing import IO, Iterator
+
+from .core import DatasetError, GraphDataset, from_edges
+
+__all__ = ["load_edgelist", "save_edgelist"]
+
+
+def _open_text(path: Path) -> IO[str]:
+    if path.suffix == ".gz":
+        return gzip.open(path, "rt", encoding="utf-8")
+    return open(path, encoding="utf-8")
+
+
+def _parse_lines(
+    lines: Iterator[str], source: str, comment: str
+) -> list[tuple[int, int]]:
+    edges: list[tuple[int, int]] = []
+    for lineno, line in enumerate(lines, start=1):
+        text = line.strip()
+        if not text or (comment and text.startswith(comment)):
+            continue
+        parts = text.split()
+        if len(parts) != 2:
+            raise DatasetError(
+                "parse",
+                f"expected 'src dst', got {text!r}",
+                source=source,
+                line=lineno,
+            )
+        try:
+            edges.append((int(parts[0]), int(parts[1])))
+        except ValueError:
+            raise DatasetError(
+                "parse",
+                f"non-integer vertex id in {text!r}",
+                source=source,
+                line=lineno,
+            ) from None
+    return edges
+
+
+def load_edgelist(
+    path: str | Path,
+    *,
+    n: int | None = None,
+    remap: bool = False,
+    comment: str = "#",
+    name: str | None = None,
+) -> GraphDataset:
+    """Load a SNAP-style edge list into a :class:`GraphDataset`.
+
+    ``n`` bounds the id space (ids must be ``< n``); without it the
+    vertex count is inferred as ``max id + 1`` (or the distinct-id count
+    under ``remap=True``).
+    """
+    p = Path(path)
+    source = str(p)
+    try:
+        with _open_text(p) as fh:
+            pairs = _parse_lines(iter(fh), source, comment)
+    except OSError as exc:
+        raise DatasetError("io", str(exc), source=source) from None
+    ds = from_edges(
+        name or p.name.removesuffix(".gz").removesuffix(".txt"),
+        pairs,
+        n=n,
+        remap=remap,
+        source=source,
+        meta={"format": "edgelist", "lines": len(pairs)},
+    )
+    return ds
+
+
+def save_edgelist(ds: GraphDataset, path: str | Path) -> Path:
+    """Write a dataset back out in the SNAP tab-separated format."""
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    opener = gzip.open if p.suffix == ".gz" else open
+    with opener(p, "wt", encoding="utf-8") as fh:  # type: ignore[operator]
+        fh.write(f"# Directed graph: {ds.name}\n")
+        fh.write(f"# Nodes: {ds.n} Edges: {ds.m}\n")
+        fh.write("# FromNodeId\tToNodeId\n")
+        for src, dst in ds.edges.tolist():
+            fh.write(f"{src}\t{dst}\n")
+    return p

@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
-from . import ablations, arrays, pipeline, schemes, tradeoffs
+from . import ablations, arrays, datasets, pipeline, schemes, tradeoffs
 
 __all__ = ["Experiment", "EXPERIMENTS", "run_experiment"]
 
@@ -48,6 +48,10 @@ def _registry() -> dict[str, Experiment]:
         ("F18", "linear partitioned array vs Sec. 4.2 formulas", arrays.linear_sweep),
         ("F19", "2-D partitioned array vs Sec. 4.2", arrays.mesh_sweep),
         ("F20", "G-set scheduling policies", arrays.schedule_census),
+        ("F20-BIT", "bit-packed boolean closure vs unpacked Warshall",
+         datasets.bitpack_speedup),
+        ("DS-AGREE", "closure-engine agreement on Kronecker graphs",
+         datasets.engine_agreement),
         ("F21", "host bandwidth m/n with the R-block chain", arrays.io_census),
         ("F22", "varying G-node times: linear vs 2-D", tradeoffs.varying_time_census),
         ("T-EVAL", "Sec. 4.2 trade-off table, linear vs mesh",

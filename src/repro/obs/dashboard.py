@@ -394,9 +394,20 @@ def _hotspot_sections(run: dict, top: int = 10) -> list[str]:
     ]
 
 
+def _numeric(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
 def _sweep_sections(rows: Sequence[Mapping[str, Any]]) -> list[str]:
+    # Foreign or legacy sweep rows may carry null dimensions; plotting a
+    # None x-coordinate would crash the chart, so such rows are skipped
+    # (they still appear in the details table below the charts).
+    plotted = [r for r in rows if _numeric(r.get("n"))]
     if not rows:
         return []
+    if not plotted:
+        return ['<div class="card">' + _details_table("sweep data", list(rows)) + "</div>"]
+    rows, all_rows = plotted, list(rows)
     thr = [
         ("measured", [(r["n"], r["measured_throughput"]) for r in rows]),
         ("closed form", [(r["n"], r["expected_throughput"]) for r in rows]),
@@ -416,7 +427,7 @@ def _sweep_sections(rows: Sequence[Mapping[str, Any]]) -> list[str]:
             title="Utilization vs n - measured vs U = (n-1)(n-2)/(n(n+1))",
             x_label="n", y_label="U",
         )
-        + _details_table("sweep data", list(rows))
+        + _details_table("sweep data", all_rows)
         + "</div>"
     ]
 
@@ -452,10 +463,14 @@ def _trajectory_sections(history: Sequence[Mapping], max_exps: int = 8) -> list[
         f"experiments; omitted: {', '.join(exp_ids[max_exps:])}</p>"
         if len(exp_ids) > len(shown) else ""
     )
+    # Dimensions may be null on older records (pre-inference benchmarks
+    # never stamped them); render "-" rather than "None".
     table_rows = [
         {
             "exp_id": exp_id,
             "runs": len(by_exp[exp_id]),
+            "last_n": n if _numeric(n := by_exp[exp_id][-1].get("n")) else "-",
+            "last_m": m if _numeric(m := by_exp[exp_id][-1].get("m")) else "-",
             "last_commit": by_exp[exp_id][-1].get("commit") or "-",
             "last_wall_time_s": by_exp[exp_id][-1]
             .get("metrics", {})

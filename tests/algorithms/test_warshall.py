@@ -52,7 +52,7 @@ def test_warshall_rejects_non_square() -> None:
 
 
 def test_adjacency_from_edges_bounds() -> None:
-    with pytest.raises(ValueError, match="out of range"):
+    with pytest.raises(ValueError, match="vertex-out-of-range"):
         adjacency_from_edges(3, [(0, 5)])
 
 

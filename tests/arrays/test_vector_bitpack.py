@@ -1,0 +1,146 @@
+"""The bit-packed boolean replay vs the reference interpreter.
+
+The vector backend proves a compiled boolean plan closure-shaped
+(:func:`repro.arrays.vector_compile._detect_bitpack`) and then replays
+it as a packed Warshall sweep.  These tests pin the proof obligations:
+the replay must be bit-identical at the ``SimResult`` level for
+*arbitrary* boolean inputs (not just diagonal-forced closure inputs),
+and the detector must refuse anything that is not exactly the closure
+recurrence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.transitive_closure import make_inputs, tc_regular
+from repro.core.ggraph import GGraph, group_by_columns
+from repro.core.gsets import make_linear_gsets, make_mesh_gsets, schedule_gsets
+from repro.core.partitioner import partition_transitive_closure
+from repro.core.graph import GraphError
+from repro.core.semiring import BOOLEAN, MIN_PLUS
+from repro.arrays.cycle_sim import simulate
+from repro.arrays.plan import partitioned_plan
+from repro.arrays.vector_compile import compile_plan, get_compiled
+from repro.arrays.vector_sim import simulate_vector
+
+from test_vector_sim import assert_identical, build
+
+
+def input_map(dg, a: np.ndarray) -> dict:
+    """Raw inputs from a matrix — no diagonal forcing, unlike make_inputs."""
+    return {("in", i, j): bool(a[i, j]) for i in range(a.shape[0])
+            for j in range(a.shape[1])}
+
+
+def special_matrices(n: int) -> dict[str, np.ndarray]:
+    disconnected = np.zeros((n, n), dtype=np.bool_)
+    h = n // 2
+    disconnected[:h, :h] = True
+    disconnected[h:, h:] = True
+    single = np.zeros((n, n), dtype=np.bool_)
+    single[0, min(1, n - 1)] = True
+    return {
+        "empty": np.zeros((n, n), dtype=np.bool_),
+        "all_ones": np.ones((n, n), dtype=np.bool_),
+        "identity": np.eye(n, dtype=np.bool_),
+        "disconnected": disconnected,
+        "single_edge": single,
+    }
+
+
+class TestBitpackDetection:
+    def test_boolean_closure_plan_is_proven(self) -> None:
+        dg, ep = build(7, 3)
+        compiled = get_compiled(ep, dg, BOOLEAN)
+        assert compiled.bitpack is not None
+        assert compiled.bitpack.n == 7
+
+    def test_mesh_plan_is_proven(self) -> None:
+        dg, ep = build(8, 4, geometry="mesh")
+        assert get_compiled(ep, dg, BOOLEAN).bitpack is not None
+
+    def test_min_plus_is_not(self) -> None:
+        dg, ep = build(6, 3)
+        assert compile_plan(ep, dg, MIN_PLUS).bitpack is None
+
+    def test_detection_counter_increments(self) -> None:
+        from repro.obs.metrics import get_registry
+
+        dg = tc_regular(5)
+        gg = GGraph(dg, group_by_columns)
+        plan = make_linear_gsets(gg, 2)
+        ep = partitioned_plan(plan, schedule_gsets(plan, "vertical"))
+        counter = get_registry().counter(
+            "repro_vector_bitpack_plans_total",
+            "Compiled plans proven closure-shaped (bit-packed replay)",
+        )
+        before = counter.value()
+        assert compile_plan(ep, dg, BOOLEAN).bitpack is not None
+        assert counter.value() == before + 1
+
+
+class TestBitpackEquivalence:
+    @pytest.mark.parametrize("case", sorted(special_matrices(7)))
+    def test_special_inputs_bit_identical(self, case: str) -> None:
+        n = 7
+        dg, ep = build(n, 3)
+        inputs = input_map(dg, special_matrices(n)[case])
+        ref = simulate(ep, dg, inputs)
+        vec = simulate_vector(ep, dg, inputs)
+        assert_identical(ref, vec)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_raw_inputs(self, seed: int) -> None:
+        # No forced diagonal: the raw recurrence itself must agree.
+        n = 9
+        rng = np.random.default_rng(seed)
+        a = rng.random((n, n)) < 0.3
+        dg, ep = build(n, 3)
+        inputs = input_map(dg, a)
+        assert_identical(simulate(ep, dg, inputs),
+                         simulate_vector(ep, dg, inputs))
+
+    def test_closure_inputs_on_partitioned_impl(self) -> None:
+        from repro.algorithms.warshall import random_adjacency, warshall
+
+        for geometry, n, m in (("linear", 10, 5), ("mesh", 8, 4)):
+            impl = partition_transitive_closure(n=n, m=m, geometry=geometry)
+            a = random_adjacency(n, seed=3)
+            inputs = make_inputs(a)
+            ref = simulate(impl.exec_plan, impl.dg, inputs)
+            vec = simulate_vector(impl.exec_plan, impl.dg, inputs)
+            assert_identical(ref, vec)
+            assert np.array_equal(vec.output_matrix(n), warshall(a))
+
+    def test_outputs_are_bool_scalars(self) -> None:
+        dg, ep = build(6, 3)
+        vec = simulate_vector(ep, dg, input_map(dg, np.eye(6, dtype=np.bool_)))
+        assert all(isinstance(v, np.bool_) for v in vec.outputs.values())
+
+    def test_strict_mode_parity(self) -> None:
+        # Strict replay goes through the same entry checks before the
+        # packed path; a missing input must raise identically.
+        dg, ep = build(6, 3)
+        inputs = input_map(dg, np.zeros((6, 6), dtype=np.bool_))
+        del inputs[("in", 0, 0)]
+        with pytest.raises(GraphError):
+            simulate(ep, dg, inputs)
+        with pytest.raises(GraphError):
+            simulate_vector(ep, dg, inputs)
+
+
+class TestAgainstPackedKernel:
+    def test_replay_matches_closure_words(self) -> None:
+        # Full-circle: FPDG replay == host-level packed kernel (raw
+        # recurrence, no diagonal forcing) on the same matrix.
+        from repro.core.bitmatrix import closure_words, pack_rows, unpack_rows
+
+        n = 11
+        rng = np.random.default_rng(4)
+        a = rng.random((n, n)) < 0.25
+        dg, ep = build(n, 4)
+        vec = simulate_vector(ep, dg, input_map(dg, a))
+        expected = unpack_rows(closure_words(pack_rows(a), n), n)
+        assert np.array_equal(vec.output_matrix(n), expected)

@@ -118,6 +118,61 @@ class TestSelfContained:
         assert "nothing to show" in render_dashboard()
 
 
+class TestNullDimensionHistory:
+    """Mixed null/non-null dimensions must not crash any panel.
+
+    Older history records (pre-inference benchmarks, A-ALN and friends)
+    carry ``"n": null`` — the trajectory table renders "-" for them and
+    the sweep charts skip them rather than plotting a None coordinate.
+    """
+
+    @staticmethod
+    def mixed_history() -> list[dict]:
+        return [
+            perf.make_record("A-ALN", {"wall_time_s": 0.5},
+                             ts=1000.0, commit="abc1234"),  # n/m null
+            perf.make_record("F18", {"wall_time_s": 0.8}, n=12, m=4,
+                             ts=1001.0, commit="abc1234"),
+        ]
+
+    def test_mixed_history_renders_null_dims_as_dash(self):
+        html = render_dashboard(history=self.mixed_history())
+        assert "A-ALN" in html and "F18" in html
+        assert "None" not in html
+        assert ">-<" in html  # the null-dim cells
+
+    def test_non_null_dims_still_shown(self):
+        html = render_dashboard(history=self.mixed_history())
+        assert ">12<" in html  # F18's last_n survives the filter
+
+    @staticmethod
+    def sweep_row(n):
+        return {
+            "n": n, "m": 3,
+            "measured_throughput": 1e-3, "expected_throughput": 1.1e-3,
+            "measured_utilization": 0.5, "expected_utilization": 0.55,
+        }
+
+    def test_sweep_skips_null_dim_rows_but_tables_them(self):
+        rows = [self.sweep_row(6), self.sweep_row(8),
+                {"n": None, "m": "legacy"}]
+        html = render_dashboard(sweep_rows=rows)
+        assert "Throughput vs n" in html  # charts still drawn
+        for svg in extract_svgs(html):
+            ET.fromstring(svg)  # no None leaked into coordinates
+        assert "legacy" in html  # the skipped row is still tabled
+
+    def test_all_null_sweep_rows_fall_back_to_table_only(self):
+        html = render_dashboard(sweep_rows=[{"n": None, "m": "legacy"}])
+        assert "Throughput vs n" not in html
+        assert "legacy" in html
+
+    def test_bool_n_is_not_numeric(self):
+        # bool is an int subclass; a True "dimension" must not plot at x=1.
+        html = render_dashboard(sweep_rows=[{"n": True, "m": "boolrow"}])
+        assert "Throughput vs n" not in html
+
+
 class TestDashboardCLI:
     def test_writes_single_html_file(self, tmp_path, capsys):
         out = tmp_path / "dash.html"

@@ -368,3 +368,134 @@ def test_dashboard_includes_run_ledger_panel(capsys, tmp_path,
     html = out_html.read_text()
     assert "Run ledger (recent runs)" in html
     assert "faults-" in html
+
+
+# ----------------------------------------------------------------------
+# Sparse datasets: the ``closure`` verb and ``bench --dataset``
+# ----------------------------------------------------------------------
+
+class TestClosureVerb:
+    def test_kron_with_ssc12_check(self, capsys) -> None:
+        out = run_cli(capsys, "closure", "--dataset", "kron:scale=5,edges=4",
+                      "--check", "ssc12")
+        assert "engine: bitpack" in out
+        assert "agree=True" in out
+
+    def test_engine_choices_agree(self, capsys) -> None:
+        import json
+
+        edges = None
+        for engine in ("bitpack", "reference", "ssc1", "ssc2", "ssc12"):
+            out = run_cli(capsys, "closure", "--dataset",
+                          "kron:scale=4,edges=4,seed=1",
+                          "--engine", engine, "--format", "json")
+            doc = json.loads(out)
+            if edges is None:
+                edges = doc["closure_edges"]
+            assert doc["closure_edges"] == edges, engine
+
+    def test_edgelist_path_with_remap(self, capsys, tmp_path) -> None:
+        p = tmp_path / "g.txt"
+        p.write_text("# comment\n10 20\n20 30\n30 10\n")
+        out = run_cli(capsys, "closure", "--dataset", str(p), "--remap",
+                      "--check", "reference")
+        assert "n=3" in out
+        # A 3-cycle closes fully: 9 reachable pairs.
+        assert "closure: 9 reachable pairs" in out
+        assert "agree=True" in out
+
+    def test_bad_spec_exits_two(self, capsys) -> None:
+        assert main(["closure", "--dataset", "kron:whee=1"]) == 2
+        assert "closure:" in capsys.readouterr().err
+
+    def test_out_of_range_without_remap_exits_two(self, capsys,
+                                                  tmp_path) -> None:
+        p = tmp_path / "g.txt"
+        p.write_text("0 1\n")
+        assert main(["closure", "--dataset", str(p), "--n", "1"]) == 2
+        assert "vertex-out-of-range" in capsys.readouterr().err
+
+    def test_out_writes_nested_json(self, capsys, tmp_path) -> None:
+        import json
+
+        out_file = tmp_path / "a" / "b" / "closure.json"
+        run_cli(capsys, "closure", "--dataset", "kron:scale=4,edges=4",
+                "--check", "reference", "--format", "json",
+                "--out", str(out_file))
+        doc = json.loads(out_file.read_text())
+        assert doc["check"]["agree"] is True
+        assert doc["dataset"]["n"] == 16
+
+    def test_record_appends_history_and_trajectory(self, capsys,
+                                                   tmp_path) -> None:
+        import json
+
+        hist = tmp_path / "hist" / "history.jsonl"
+        out = run_cli(capsys, "closure", "--dataset",
+                      "kron:scale=5,edges=4", "--record", str(hist))
+        assert "appended" in out
+        rec = json.loads(hist.read_text().splitlines()[-1])
+        assert rec["exp_id"].startswith("DS-kron")
+        assert rec["n"] == 32  # dimensions stamped, never null
+        assert rec["metrics"]["wall_time_s"] > 0
+        # The roll-up lands next to a custom history file, not at the
+        # repo root (and certainly not at filesystem root).
+        assert (tmp_path / "hist" / "BENCH_PERF.json").exists()
+
+    def test_emits_run_ledger(self, capsys, tmp_path, monkeypatch) -> None:
+        monkeypatch.setenv("REPRO_RUNLOG_DIR", str(tmp_path))
+        run_cli(capsys, "closure", "--dataset", "kron:scale=4,edges=4",
+                "--check", "ssc2")
+        out = run_cli(capsys, "obs", "show", "--dir", str(tmp_path))
+        for marker in ("dataset", "closure", "closure_check"):
+            assert marker in out, marker
+        out = run_cli(capsys, "obs", "verify", "--dir", str(tmp_path))
+        assert "1/1 ledger(s) clean" in out
+
+
+class TestBenchDataset:
+    def test_small_kron_runs_all_engines_and_arrays(self, capsys) -> None:
+        out = run_cli(capsys, "bench", "--dataset", "kron:scale=3,edges=3")
+        for engine in ("bitpack", "reference", "ssc1", "ssc2", "ssc12",
+                       "array-reference", "array-vector"):
+            assert engine in out, engine
+        assert "False" not in out  # every engine agrees with the oracle
+
+    def test_record_stamps_dimensions(self, capsys, tmp_path) -> None:
+        import json
+
+        hist = tmp_path / "h" / "history.jsonl"
+        run_cli(capsys, "bench", "--dataset", "kron:scale=3,edges=3",
+                "--record", str(hist))
+        rec = json.loads(hist.read_text().splitlines()[-1])
+        assert rec["n"] == 8 and rec["m"] is not None
+        assert "ssc12_wall_s" in rec["metrics"]
+
+    def test_bad_spec_exits_two(self, capsys) -> None:
+        assert main(["bench", "--dataset", "kron:"]) == 2
+
+
+def test_new_artefact_writers_create_nested_dirs(capsys, tmp_path) -> None:
+    """Satellite sweep: every ``*-out`` flag must mkdir its parents."""
+    import json
+
+    summary = tmp_path / "f" / "deep" / "summary.json"
+    run_cli(capsys, "faults", "--config", "linear-n9-m3",
+            "--kinds", "transient", "--summary-out", str(summary))
+    assert json.loads(summary.read_text())["ok"] is True
+
+    folded = tmp_path / "p" / "deep" / "stacks.folded"
+    flame = tmp_path / "p" / "deeper" / "flame.svg"
+    run_cli(capsys, "profile", "--n", "6", "--m", "3",
+            "--folded-out", str(folded), "--flame-out", str(flame))
+    assert folded.read_text().strip()
+    assert flame.read_text().startswith("<svg")
+
+    baseline = tmp_path / "l" / "deep" / "baseline.json"
+    run_cli(capsys, "lint", "--n", "9", "--m", "3",
+            "--baseline", str(baseline), "--update-baseline")
+    assert baseline.exists()
+    diff = tmp_path / "l" / "deeper" / "diff.json"
+    run_cli(capsys, "lint", "--n", "9", "--m", "3",
+            "--baseline", str(baseline), "--baseline-diff-out", str(diff))
+    assert json.loads(diff.read_text())

@@ -10,7 +10,7 @@ from repro.experiments import EXPERIMENTS, run_experiment
 #: Every experiment id DESIGN.md's index promises.
 PROMISED = {
     "F01", "F02", "F03", "F04", "F05", "F07", "F10-F11", "F12-F16",
-    "F17", "F18", "F19", "F20", "F21", "F22",
+    "F17", "F18", "F19", "F20", "F20-BIT", "F21", "F22", "DS-AGREE",
     "T-EVAL", "T-BASE", "T-FT",
     "A-POL", "A-GRP", "A-ALN", "A-CHAIN", "A-EXT", "A-COST", "A-HYB",
 }
